@@ -1,0 +1,61 @@
+// Command memphis-bench regenerates the paper's evaluation tables and
+// figures against the simulated multi-backend stack.
+//
+// Usage:
+//
+//	memphis-bench -list
+//	memphis-bench all
+//	memphis-bench fig13a fig14c
+//	memphis-bench -quick fig12b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"memphis/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	quick := flag.Bool("quick", false, "run reduced-size variants")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: memphis-bench [-quick] all | <experiment id>...; -list to enumerate")
+		os.Exit(2)
+	}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range bench.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	for _, id := range ids {
+		e, err := bench.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		var tb *bench.Table
+		if *quick {
+			tb = e.Quick()
+		} else {
+			tb = e.Run()
+		}
+		fmt.Println(tb.String())
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,34 @@
+// En2de scores a Zipf-distributed word sequence with a pre-trained
+// translation network on the simulated GPU, comparing Base-G, a
+// PyTorch-style pool allocator, Clipper-style prediction caching, and full
+// MEMPHIS (Figure 14(c)). Duplicate words make whole scoring calls
+// reusable at the host, eliminating their GPU work entirely.
+package main
+
+import (
+	"fmt"
+
+	"memphis/internal/bench"
+	"memphis/internal/workloads"
+)
+
+func main() {
+	env := bench.DefaultEnv()
+	env.OpMemBudget = 1 << 30
+	env.GPUMinCells = 64
+	build := func() *workloads.Workload {
+		return workloads.En2De(1000, 200, 32, 64, 23)
+	}
+	for _, sys := range []bench.System{bench.BaseG, bench.PyTorch, bench.MPHF, bench.Clipper, bench.MPH} {
+		secs, ctx, err := sys.Run(env, build)
+		if err != nil {
+			panic(err)
+		}
+		gpuKernels := int64(0)
+		if ctx.GM != nil {
+			gpuKernels = ctx.GM.Device().Stats.Kernels
+		}
+		fmt.Printf("%-12s %8.4f s   kernels=%-6d fn-reuses=%-5d gpu-hits=%d\n",
+			sys.Name, secs, gpuKernels, ctx.Stats.FuncReuses, ctx.Cache.Stats.HitsGPU)
+	}
+}

@@ -1,0 +1,29 @@
+// Gridsearch runs the paper's HCV workload (grid-search cross-validated
+// linear regression, Example 4.1) under Base and full MEMPHIS, comparing
+// virtual execution times and reuse statistics — a miniature Figure 13(a).
+package main
+
+import (
+	"fmt"
+
+	"memphis/internal/bench"
+	"memphis/internal/workloads"
+)
+
+func main() {
+	env := bench.DefaultEnv()
+	env.OpMemBudget = 2 << 20 // the gram computation goes distributed
+	build := func() *workloads.Workload {
+		return workloads.HCV(16000, 48, 3,
+			[]float64{1e-3, 1e-2, 1e-1, 1, 10, 100}, 7)
+	}
+	for _, sys := range []bench.System{bench.Base, bench.BaseA, bench.LIMA, bench.MPH} {
+		secs, ctx, err := sys.Run(env, build)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s %8.4f s   jobs=%-3d reused=%-4d action-reuses=%-3d rdd-hits=%d\n",
+			sys.Name, secs, ctx.SC.Stats.Jobs, ctx.Stats.Reused,
+			ctx.Stats.ActionReuses, ctx.Cache.Stats.HitsRDD)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: build a tiny program, run it twice, and watch the lineage
+// cache turn the second run into pure reuse.
+package main
+
+import (
+	"fmt"
+
+	"memphis"
+	"memphis/internal/data"
+	"memphis/internal/ir"
+)
+
+func main() {
+	s := memphis.New(memphis.Options{Reuse: memphis.ReuseFull})
+	s.Bind("X", data.RandNorm(2000, 32, 0, 1, 7))
+	s.Bind("y", data.RandNorm(2000, 1, 0, 1, 8))
+
+	// Ridge regression: beta = (X'X + lambda I)^-1 X'y for three lambdas.
+	// X'X and X'y are lambda-independent, so MEMPHIS computes them once.
+	prog := ir.NewProgram()
+	prog.Main = []ir.Block{
+		ir.For("lambda", []float64{0.01, 0.1, 1.0}, ir.BB(
+			ir.Assign("G", ir.TSMM(ir.Var("X"))),
+			ir.Assign("b", ir.MatMul(ir.T(ir.Var("X")), ir.Var("y"))),
+			ir.Assign("beta", ir.Solve(ir.Add(ir.Var("G"), ir.Var("lambda")), ir.Var("b"))),
+			ir.Assign("fit", ir.Sum(ir.Pow(ir.Sub(ir.Var("y"), ir.MatMul(ir.Var("X"), ir.Var("beta"))), 2))),
+		)),
+	}
+	if err := s.Run(prog); err != nil {
+		panic(err)
+	}
+	fmt.Printf("virtual time: %.4g s\n", s.VirtualTime())
+	fmt.Printf("instructions: %d, reused: %d\n", s.Stats().Instructions, s.Stats().Reused)
+	fmt.Printf("cache: %d CP hits, %d misses\n", s.CacheStats().HitsCP, s.CacheStats().Misses)
+	fmt.Println("last fit:", s.Value("fit"))
+
+	// The lineage trace of beta can be serialized and replayed anywhere
+	// the same inputs are available.
+	log, err := s.SerializeLineage("beta")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("lineage log of beta: %d bytes\n", len(log))
+}

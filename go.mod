@@ -1,0 +1,3 @@
+module memphis
+
+go 1.22

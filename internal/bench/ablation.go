@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"memphis/internal/runtime"
+	"memphis/internal/workloads"
+)
+
+// Ablation quantifies each MEMPHIS design choice by disabling it from the
+// full system, on the two pipelines that exercise the compiler extensions
+// hardest: HCV (async exchange, action/RDD reuse) and PNMF (checkpoint
+// placement, delayed caching). Rows report the slowdown relative to full
+// MPH, i.e. the contribution of the ablated feature.
+func Ablation(hcvRows, pnmfIters int) *Table {
+	t := &Table{
+		ID:     "ablation",
+		Title:  "Ablation of MEMPHIS design choices (slowdown vs full MPH)",
+		Header: []string{"Workload", "Variant", "Time[s]", "vs MPH"},
+		Notes: []string{
+			"each variant removes exactly one mechanism from full MEMPHIS",
+		},
+	}
+	variants := []struct {
+		name string
+		mut  func(System) System
+	}{
+		{"MPH (full)", func(s System) System { return s }},
+		{"-async ops", func(s System) System { s.Async = false; return s }},
+		{"-maxParallelize", func(s System) System { s.MaxPar = false; return s }},
+		{"-checkpoints", func(s System) System { s.Checkpoints = false; return s }},
+		{"-delayed caching", func(s System) System { s.AutoTune = false; return s }},
+		{"-multi-level reuse", func(s System) System { s.Mode = runtime.ReuseMemphisFine; return s }},
+		{"-all reuse", func(s System) System { s.Mode = runtime.ReuseNone; return s }},
+	}
+	cases := []struct {
+		name  string
+		env   Env
+		build func() *workloads.Workload
+	}{
+		{"HCV", func() Env {
+			e := DefaultEnv()
+			e.OpMemBudget = 4 << 20
+			e.GPUCapacity = 0
+			return e
+		}(), func() *workloads.Workload {
+			return workloads.HCV(hcvRows, 48, 3,
+				[]float64{1e-3, 1e-2, 1e-1, 1, 10, 100}, 7)
+		}},
+		{"PNMF", func() Env {
+			e := DefaultEnv()
+			e.OpMemBudget = 64 << 10
+			e.GPUCapacity = 0
+			return e
+		}(), func() *workloads.Workload {
+			return workloads.PNMF(3000, 60, 8, pnmfIters, 11)
+		}},
+	}
+	for _, c := range cases {
+		var full float64
+		for i, v := range variants {
+			sys := v.mut(MPH)
+			sys.Name = v.name
+			secs, _, err := sys.Run(c.env, c.build)
+			if err != nil {
+				panic(fmt.Sprintf("ablation/%s/%s: %v", c.name, v.name, err))
+			}
+			if i == 0 {
+				full = secs
+			}
+			t.Rows = append(t.Rows, []string{c.name, v.name, fmtTime(secs),
+				fmt.Sprintf("%.2fx", secs/full)})
+		}
+	}
+	return t
+}

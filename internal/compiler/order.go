@@ -1,0 +1,251 @@
+package compiler
+
+import (
+	"sort"
+
+	"memphis/internal/core"
+	"memphis/internal/ir"
+)
+
+// statementOrder returns the emission order of statements. The default is
+// program order (depth-first linearization). With MaxParallelize, the
+// Algorithm-2 ordering applies: within each call-delimited segment,
+// statements rooting remote operator chains (Spark jobs, GPU chains) are
+// linearized first, longest chain first, so asynchronous operators can
+// trigger them before dependent local work (§5.3).
+func (bc *blockCompiler) statementOrder(stmts []ir.Stmt, roots []*ir.Node) []int {
+	order := make([]int, len(stmts))
+	for i := range order {
+		order[i] = i
+	}
+	if !bc.conf.MaxParallelize {
+		return order
+	}
+	counts := make(map[*ir.Node]int)
+	var remoteOps func(n *ir.Node) int
+	remoteOps = func(n *ir.Node) int {
+		if c, ok := counts[n]; ok {
+			return c
+		}
+		counts[n] = 0 // break cycles defensively
+		c := 0
+		if n.Op != "var" && n.Op != "lit" && n.Op != "call" {
+			if b := bc.placement(n); b == core.BackendSpark || b == core.BackendGPU {
+				c = 1
+			}
+			for _, in := range n.Inputs {
+				c += remoteOps(in)
+			}
+		}
+		counts[n] = c
+		return c
+	}
+	out := make([]int, 0, len(stmts))
+	segStart := 0
+	flush := func(end int) {
+		n := end - segStart
+		if n <= 0 {
+			return
+		}
+		// Anti-dependency (WAR) edges: a statement assigning v must not
+		// move before an earlier statement that reads v from outside the
+		// block (an unresolved leaf read of the previous binding).
+		written := make(map[string]int) // var -> first writing stmt (segment-relative)
+		reads := make([]map[string]struct{}, n)
+		for k := 0; k < n; k++ {
+			i := segStart + k
+			reads[k] = make(map[string]struct{})
+			ir.VarsRead(stmts[i].Expr, reads[k])
+			for _, tgt := range stmts[i].Targets {
+				if _, ok := written[tgt]; !ok {
+					written[tgt] = k
+				}
+			}
+		}
+		preds := make([][]int, n) // preds[j] must be emitted before j
+		for j := 0; j < n; j++ {
+			for _, tgt := range stmts[segStart+j].Targets {
+				for i := 0; i < j; i++ {
+					if _, rd := reads[i][tgt]; !rd {
+						continue
+					}
+					if fw, ok := written[tgt]; ok && fw < i {
+						continue // read was resolved to an in-block node
+					}
+					preds[j] = append(preds[j], i)
+				}
+			}
+		}
+		// Desired priority: remote-rooted statements first, longer chains
+		// first, then program order; emitted greedily under WAR edges.
+		order := make([]int, n)
+		for k := range order {
+			order[k] = k
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ca, cb := remoteOps(roots[segStart+order[a]]), remoteOps(roots[segStart+order[b]])
+			if (ca > 0) != (cb > 0) {
+				return ca > 0
+			}
+			if ca > 0 && cb > 0 && ca != cb {
+				return ca > cb
+			}
+			return false
+		})
+		emitted := make([]bool, n)
+		for remaining := n; remaining > 0; {
+			progress := false
+			for _, k := range order {
+				if emitted[k] {
+					continue
+				}
+				ready := true
+				for _, p := range preds[k] {
+					if !emitted[p] {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					emitted[k] = true
+					out = append(out, segStart+k)
+					remaining--
+					progress = true
+				}
+			}
+			if !progress {
+				// Cycles cannot occur (edges point forward), but emit the
+				// rest in program order defensively.
+				for k := 0; k < n; k++ {
+					if !emitted[k] {
+						emitted[k] = true
+						out = append(out, segStart+k)
+						remaining--
+					}
+				}
+			}
+		}
+	}
+	for i, st := range stmts {
+		if st.Expr.Op == "call" {
+			flush(i)
+			out = append(out, i)
+			segStart = i + 1
+		}
+	}
+	flush(len(stmts))
+	return out
+}
+
+// consumersOf maps each output name to the indices of instructions reading
+// it after its producer.
+func consumersOf(insts []Instruction) map[string][]int {
+	c := make(map[string][]int)
+	for i, in := range insts {
+		for _, op := range in.Inputs {
+			if !IsLiteral(op) {
+				c[op] = append(c[op], i)
+			}
+		}
+	}
+	return c
+}
+
+// injectBlockCheckpoints inserts a checkpoint after Spark instructions
+// whose outputs feed two or more other Spark instructions: the overlapping
+// jobs would otherwise both lazily recompute the shared prefix (§5.2,
+// rewrite 1).
+func injectBlockCheckpoints(insts []Instruction) []Instruction {
+	cons := consumersOf(insts)
+	out := make([]Instruction, 0, len(insts))
+	for _, in := range insts {
+		out = append(out, in)
+		if in.Kind != KindOp || in.Backend != core.BackendSpark {
+			continue
+		}
+		nSpark := 0
+		for _, ci := range cons[in.Outputs[0]] {
+			if insts[ci].Backend == core.BackendSpark && insts[ci].Kind == KindOp {
+				nSpark++
+			}
+		}
+		if nSpark >= 2 {
+			cp := CheckpointInstruction(in.Outputs[0])
+			cp.Shape = in.Shape
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// insertPrefetch places a prefetch instruction after the roots of remote
+// operator chains: Spark or GPU instructions whose output is consumed by a
+// local (CP) instruction, i.e. where a blocking collect or
+// device-to-host copy would otherwise occur (§5.1).
+func insertPrefetch(insts []Instruction) []Instruction {
+	cons := consumersOf(insts)
+	out := make([]Instruction, 0, len(insts))
+	for _, in := range insts {
+		out = append(out, in)
+		if in.Kind != KindOp {
+			continue
+		}
+		if in.Backend != core.BackendSpark && in.Backend != core.BackendGPU {
+			continue
+		}
+		remoteConsumer, localConsumer := false, false
+		for _, ci := range cons[in.Outputs[0]] {
+			if insts[ci].Backend == in.Backend {
+				remoteConsumer = true
+			} else if insts[ci].Backend == core.BackendCP && insts[ci].Kind == KindOp {
+				localConsumer = true
+			}
+		}
+		// Roots of remote chains only: no same-backend consumer.
+		if localConsumer && !remoteConsumer {
+			out = append(out, Instruction{
+				Kind:    KindPrefetch,
+				Op:      "prefetch",
+				Inputs:  []string{in.Outputs[0]},
+				Outputs: []string{in.Outputs[0]},
+				Backend: in.Backend,
+				Shape:   in.Shape,
+			})
+		}
+	}
+	return out
+}
+
+// insertBroadcast places the asynchronous broadcast operator after the last
+// local operator of chains feeding Spark instructions, overlapping
+// partitioning/serialization with local work (§5.1).
+func insertBroadcast(insts []Instruction, conf Config) []Instruction {
+	cons := consumersOf(insts)
+	out := make([]Instruction, 0, len(insts))
+	for _, in := range insts {
+		out = append(out, in)
+		if in.Kind != KindOp || in.Backend != core.BackendCP || in.Op == "call" {
+			continue
+		}
+		if in.Shape.Bytes() > conf.OpMemBudget {
+			continue // too large to broadcast
+		}
+		feedsSpark := false
+		for _, ci := range cons[in.Outputs[0]] {
+			if insts[ci].Backend == core.BackendSpark && insts[ci].Kind == KindOp {
+				feedsSpark = true
+			}
+		}
+		if feedsSpark {
+			out = append(out, Instruction{
+				Kind:    KindBroadcast,
+				Op:      "broadcast",
+				Inputs:  []string{in.Outputs[0]},
+				Outputs: []string{in.Outputs[0]},
+				Backend: core.BackendSpark,
+				Shape:   in.Shape,
+			})
+		}
+	}
+	return out
+}

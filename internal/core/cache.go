@@ -1,0 +1,373 @@
+// Package core implements MEMPHIS's hierarchical multi-backend lineage
+// cache (paper §3.3 and §4): a single driver-side hash map from lineage
+// items to cache entries that wrap backend-local objects — in-memory
+// matrices, Spark RDD handles with their dangling child references, GPU
+// pointers, and disk-spilled binaries. The cache provides the unified
+// system-internal API (REUSE, PUT, MAKE_SPACE) on the instruction execution
+// path and delegates memory management to backend-specific policies:
+//
+//   - Driver: Cost&Size eviction with optional disk spill.
+//   - Spark (§4.1): Eq. (1) scoring (r_h+r_m+r_j)·c/s over persisted RDDs,
+//     lazy garbage collection of dangling child RDDs and broadcasts once a
+//     parent materializes, and asynchronous count() materialization after
+//     k unmaterialized touches.
+//   - GPU (§4.2): entries wrap pointers owned by the gpu.Manager; recycling
+//     a pointer invalidates its entry via callback.
+//
+// Delayed caching (§5.2) defers object storage until the n-th repetition of
+// an operation using TO-BE-CACHED placeholder entries.
+package core
+
+import (
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/gpu"
+	"memphis/internal/lineage"
+	"memphis/internal/spark"
+	"memphis/internal/vtime"
+)
+
+// Backend identifies where a cached object lives.
+type Backend int
+
+const (
+	// BackendCP is the driver's local (control program) memory.
+	BackendCP Backend = iota
+	// BackendSpark is cluster storage (a persisted RDD handle).
+	BackendSpark
+	// BackendGPU is device memory (a GPU pointer).
+	BackendGPU
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendCP:
+		return "CP"
+	case BackendSpark:
+		return "SPARK"
+	case BackendGPU:
+		return "GPU"
+	default:
+		return "?"
+	}
+}
+
+// Status tracks an entry's lifecycle.
+type Status int
+
+const (
+	// StatusToBeCached is a delayed-caching placeholder: the operation has
+	// repeated but its object is not stored yet.
+	StatusToBeCached Status = iota
+	// StatusCached means the object is available for reuse.
+	StatusCached
+	// StatusSpilled means a driver-local object was evicted to disk and is
+	// restored on access.
+	StatusSpilled
+)
+
+// Entry is one lineage cache entry: a wrapper around a backend-specific
+// pointer plus the metadata driving eviction and lazy GC.
+type Entry struct {
+	Key     *lineage.Item
+	Backend Backend
+	Status  Status
+
+	// Exactly one payload is set, by Backend.
+	Matrix *data.Matrix
+	RDD    *spark.RDD
+	GPUPtr *gpu.Pointer
+
+	// IsAction marks collected Spark action results cached in the driver
+	// (reused to bypass whole jobs, §4.1).
+	IsAction bool
+	// IsFunc marks multi-level (function/block) reuse entries (§3.3).
+	IsFunc bool
+
+	// Alias optionally carries the fine-grained lineage of the value when
+	// the entry is keyed by a coarse (function-level) item, keeping
+	// downstream lineage consistent and the value recomputable.
+	Alias *lineage.Item
+
+	// Dangling references owned by this RDD entry for lazy GC.
+	ChildRDDs  []*spark.RDD
+	Broadcasts []*spark.Broadcast
+	gcDone     bool
+
+	// Eviction metadata.
+	ComputeCost float64 // c(o): estimated compute cost, seconds
+	Size        int64   // s(o): worst-case object size, bytes
+	Hits        int64   // r_h
+	Misses      int64   // r_m: touches while a placeholder
+	Jobs        int64   // r_j: jobs that referenced the RDD
+	LastAccess  float64
+	Height      int
+
+	// Delayed caching.
+	DelayTarget int   // cache after this many repetitions (1 = eager)
+	SeenCount   int   // repetitions observed so far
+	UnmatTouch  int64 // reuses while the RDD was unmaterialized
+}
+
+// Stats counts cache events; experiments and tests assert on these.
+type Stats struct {
+	Probes    int64
+	HitsCP    int64
+	HitsRDD   int64
+	HitsGPU   int64
+	HitsFunc  int64
+	HitsActon int64
+	Misses    int64
+
+	Puts            int64
+	Placeholders    int64
+	DelayedStores   int64
+	EvictionsCP     int64
+	SpillsCP        int64
+	RestoresCP      int64
+	UnpersistsSpark int64
+	GPUInvalidated  int64
+
+	GCBroadcasts int64
+	GCChildRDDs  int64
+	AsyncMats    int64
+	GPUToHost    int64
+}
+
+// Config tunes the cache policies.
+type Config struct {
+	// CPBudget is the driver lineage cache size in bytes.
+	CPBudget int64
+	// SparkBudget is the cluster storage fraction reserved for reuse
+	// (the paper uses 80% of Spark storage).
+	SparkBudget int64
+	// GPUReuse enables caching of GPU pointers.
+	GPUReuse bool
+	// SpillToDisk lets driver eviction spill to local disk instead of
+	// dropping.
+	SpillToDisk bool
+	// AsyncMatThreshold is k: unmaterialized touches before an RDD is
+	// materialized with an asynchronous count() (default 3).
+	AsyncMatThreshold int
+}
+
+// DefaultConfig returns the paper's defaults at simulation scale.
+func DefaultConfig() Config {
+	return Config{
+		CPBudget:          16 << 20,
+		SparkBudget:       48 << 20,
+		GPUReuse:          true,
+		SpillToDisk:       true,
+		AsyncMatThreshold: 3,
+	}
+}
+
+// Cache is the hierarchical lineage cache.
+type Cache struct {
+	clock *vtime.Clock
+	model *costs.Model
+	conf  Config
+
+	entries map[uint64][]*Entry // lineage hash -> entries (chained)
+
+	cpUsed    int64
+	sparkUsed int64 // worst-case estimates of persisted reuse RDDs
+
+	sc  *spark.Context // may be nil (no Spark backend)
+	gm  *gpu.Manager   // may be nil (no GPU backend)
+	gpE map[*gpu.Pointer]*Entry
+
+	// pendingMat are futures of asynchronous materialization jobs.
+	pendingMat []*vtime.Future
+
+	Stats Stats
+}
+
+// NewCache creates the cache. sc and gm may be nil when the corresponding
+// backend is absent.
+func NewCache(clock *vtime.Clock, model *costs.Model, conf Config,
+	sc *spark.Context, gm *gpu.Manager) *Cache {
+	c := &Cache{
+		clock:   clock,
+		model:   model,
+		conf:    conf,
+		entries: make(map[uint64][]*Entry),
+		sc:      sc,
+		gm:      gm,
+		gpE:     make(map[*gpu.Pointer]*Entry),
+	}
+	if c.conf.AsyncMatThreshold <= 0 {
+		c.conf.AsyncMatThreshold = 3
+	}
+	if gm != nil {
+		gm.SetOnRecycle(c.invalidateGPU)
+	}
+	return c
+}
+
+// Config returns the active configuration.
+func (c *Cache) Config() Config { return c.conf }
+
+// CPUsed returns the bytes of driver-resident cached matrices.
+func (c *Cache) CPUsed() int64 { return c.cpUsed }
+
+// SparkUsed returns the worst-case bytes of reuse-persisted RDDs.
+func (c *Cache) SparkUsed() int64 { return c.sparkUsed }
+
+// NumEntries returns the number of cache entries (all states).
+func (c *Cache) NumEntries() int {
+	n := 0
+	for _, chain := range c.entries {
+		n += len(chain)
+	}
+	return n
+}
+
+// find locates the entry equal to item, if any.
+func (c *Cache) find(item *lineage.Item) *Entry {
+	for _, e := range c.entries[item.Hash()] {
+		if e.Key.Equals(item) {
+			return e
+		}
+	}
+	return nil
+}
+
+// insert adds an entry keyed by its lineage item.
+func (c *Cache) insert(e *Entry) {
+	h := e.Key.Hash()
+	c.entries[h] = append(c.entries[h], e)
+}
+
+// removeEntry unlinks an entry from the map.
+func (c *Cache) removeEntry(e *Entry) {
+	h := e.Key.Hash()
+	chain := c.entries[h]
+	for i, x := range chain {
+		if x == e {
+			chain = append(chain[:i], chain[i+1:]...)
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(c.entries, h)
+	} else {
+		c.entries[h] = chain
+	}
+}
+
+// Lookup returns the entry equal to item without charging probe cost or
+// touching statistics (metadata access, e.g. alias resolution after a
+// successful probe).
+func (c *Cache) Lookup(item *lineage.Item) *Entry { return c.find(item) }
+
+// Probe implements REUSE's lookup: it charges the probe cost and returns
+// the entry if the item's output is reusable. Placeholder (TO-BE-CACHED)
+// entries report a miss but advance their repetition count, implementing
+// delayed caching.
+func (c *Cache) Probe(item *lineage.Item) (*Entry, bool) {
+	c.Stats.Probes++
+	c.clock.Advance(c.model.Probe)
+	e := c.find(item)
+	if e == nil {
+		c.Stats.Misses++
+		return nil, false
+	}
+	if e.Status == StatusToBeCached {
+		e.Misses++
+		c.Stats.Misses++
+		return e, false
+	}
+	// GPU pointers may have been recycled between probe setups.
+	if e.Backend == BackendGPU && (e.GPUPtr == nil || !e.GPUPtr.Valid()) {
+		c.dropEntry(e)
+		c.Stats.Misses++
+		return nil, false
+	}
+	e.Hits++
+	e.LastAccess = c.clock.Now()
+	switch {
+	case e.IsFunc:
+		c.Stats.HitsFunc++
+	case e.IsAction:
+		c.Stats.HitsActon++
+	case e.Backend == BackendCP:
+		c.Stats.HitsCP++
+	case e.Backend == BackendSpark:
+		c.Stats.HitsRDD++
+	case e.Backend == BackendGPU:
+		c.Stats.HitsGPU++
+	}
+	return e, true
+}
+
+// dropEntry removes an entry and releases its resources.
+func (c *Cache) dropEntry(e *Entry) {
+	switch e.Backend {
+	case BackendCP:
+		if e.Status == StatusCached && e.Matrix != nil {
+			c.cpUsed -= e.Size
+		}
+	case BackendSpark:
+		if e.RDD != nil && e.Status == StatusCached {
+			c.sparkUsed -= e.Size
+			if e.RDD.StorageLevel() != spark.StorageNone {
+				e.RDD.Unpersist()
+				c.Stats.UnpersistsSpark++
+			}
+		}
+	case BackendGPU:
+		if e.GPUPtr != nil {
+			e.GPUPtr.Cached = false
+			delete(c.gpE, e.GPUPtr)
+		}
+	}
+	c.removeEntry(e)
+}
+
+// invalidateGPU is the gpu.Manager recycle callback: the pointer's memory
+// is being handed to a new output. Entries whose recomputation costs more
+// than a device-to-host copy are evicted to the driver cache instead of
+// dropped — the paper's device-to-host eviction process (§4.2) — so the
+// value stays reusable (and is re-uploaded on the next device use).
+func (c *Cache) invalidateGPU(p *gpu.Pointer) {
+	e, ok := c.gpE[p]
+	if !ok {
+		return
+	}
+	delete(c.gpE, p)
+	d2h := costs.Transfer(p.Size(), c.model.D2HBW, c.model.CopyLatency)
+	if v := p.Value(); v != nil && e.ComputeCost > 2*d2h && p.Size() <= c.conf.CPBudget {
+		c.Stats.GPUToHost++
+		c.clock.Advance(d2h)
+		c.MakeSpaceCP(p.Size())
+		e.Backend = BackendCP
+		e.Matrix = v.Clone()
+		e.GPUPtr = nil
+		c.cpUsed += e.Size
+		return
+	}
+	c.Stats.GPUInvalidated++
+	c.removeEntry(e)
+}
+
+// shouldStore advances delayed-caching state and reports whether the PUT
+// should store the object now. A delay of n<=1 stores eagerly.
+func (c *Cache) shouldStore(item *lineage.Item, delay int) (*Entry, bool) {
+	if delay <= 1 {
+		return nil, true
+	}
+	e := c.find(item)
+	if e == nil {
+		e = &Entry{Key: item, Status: StatusToBeCached, DelayTarget: delay, SeenCount: 1}
+		c.insert(e)
+		c.Stats.Placeholders++
+		return e, false
+	}
+	e.SeenCount++
+	if e.SeenCount >= delay {
+		c.Stats.DelayedStores++
+		return e, true
+	}
+	return e, false
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math"
+
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/gpu"
+	"memphis/internal/lineage"
+	"memphis/internal/spark"
+)
+
+// PutCP caches a driver-local matrix (also used for collected Spark action
+// results and function outputs). delay implements delayed caching; isAction
+// and isFunc tag the entry kind for statistics and policy decisions.
+func (c *Cache) PutCP(item *lineage.Item, m *data.Matrix, computeCost float64,
+	delay int, isAction, isFunc bool) *Entry {
+	c.Stats.Puts++
+	c.clock.Advance(c.model.CachePut)
+	e, store := c.shouldStore(item, delay)
+	if !store {
+		return e
+	}
+	size := m.SizeBytes()
+	if size > c.conf.CPBudget {
+		return nil // never cache objects larger than the whole cache
+	}
+	c.MakeSpaceCP(size)
+	if e == nil {
+		if old := c.find(item); old != nil {
+			return old // concurrent path already cached it
+		}
+		e = &Entry{Key: item}
+		c.insert(e)
+	}
+	e.Backend = BackendCP
+	e.Status = StatusCached
+	e.Matrix = m
+	e.IsAction = isAction
+	e.IsFunc = isFunc
+	e.ComputeCost = computeCost
+	e.Size = size
+	e.Height = item.Height()
+	e.LastAccess = c.clock.Now()
+	c.cpUsed += size
+	return e
+}
+
+// Matrix returns a CP entry's value, restoring it from disk if it was
+// spilled (charging the disk read).
+func (c *Cache) Matrix(e *Entry) *data.Matrix {
+	if e.Status == StatusSpilled {
+		c.Stats.RestoresCP++
+		c.clock.Advance(c.model.SpillSetup +
+			costs.Transfer(e.Size, c.model.DiskBW, 0))
+		e.Status = StatusCached
+		c.MakeSpaceCP(e.Size)
+		c.cpUsed += e.Size
+	}
+	return e.Matrix
+}
+
+// cpScore is the driver eviction score, LIMA's hybrid of Cost&Size and
+// recency: the compute-cost-to-size ratio (weighted by hits) is normalized
+// against the cache-wide maximum and combined with the normalized last
+// access time, so recently produced intermediates survive long enough for
+// the pipelines that share them.
+func cpScore(e *Entry, maxRatio, now float64) float64 {
+	s := float64(e.Size)
+	if s <= 0 {
+		s = 1
+	}
+	ratio := float64(e.Hits+1) * e.ComputeCost / s
+	score := 0.0
+	if maxRatio > 0 {
+		score += ratio / maxRatio
+	}
+	if now > 0 {
+		score += e.LastAccess / now
+	}
+	return score
+}
+
+// MakeSpaceCP evicts driver-cached matrices until need bytes fit in the
+// budget, spilling to disk when configured (MAKE_SPACE of the unified API).
+func (c *Cache) MakeSpaceCP(need int64) {
+	for c.cpUsed+need > c.conf.CPBudget {
+		var victim *Entry
+		best := math.Inf(1)
+		maxRatio := 0.0
+		for _, chain := range c.entries {
+			for _, e := range chain {
+				if e.Backend != BackendCP || e.Status != StatusCached || e.Matrix == nil {
+					continue
+				}
+				sz := float64(e.Size)
+				if sz <= 0 {
+					sz = 1
+				}
+				if r := float64(e.Hits+1) * e.ComputeCost / sz; r > maxRatio {
+					maxRatio = r
+				}
+			}
+		}
+		now := c.clock.Now()
+		for _, chain := range c.entries {
+			for _, e := range chain {
+				if e.Backend != BackendCP || e.Status != StatusCached || e.Matrix == nil {
+					continue
+				}
+				if s := cpScore(e, maxRatio, now); s < best {
+					best, victim = s, e
+				}
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.Stats.EvictionsCP++
+		c.cpUsed -= victim.Size
+		// Spill only when recomputation would cost more than the disk
+		// round trip; cheap intermediates are dropped (LIMA's cost-based
+		// spill decision).
+		diskRT := 2 * (c.model.SpillSetup + costs.Transfer(victim.Size, c.model.DiskBW, 0))
+		if c.conf.SpillToDisk && victim.ComputeCost > diskRT {
+			c.Stats.SpillsCP++
+			c.clock.Advance(c.model.SpillSetup +
+				costs.Transfer(victim.Size, c.model.DiskBW, 0))
+			victim.Status = StatusSpilled
+		} else {
+			c.removeEntry(victim)
+		}
+	}
+}
+
+// PutRDD caches a distributed intermediate: the RDD is marked for cluster
+// caching with persist() (lazy), and the entry records the dangling child
+// RDDs and broadcasts for lazy garbage collection (§4.1).
+func (c *Cache) PutRDD(item *lineage.Item, r *spark.RDD, children []*spark.RDD,
+	bcasts []*spark.Broadcast, computeCost float64, delay int,
+	level spark.StorageLevel) *Entry {
+	c.Stats.Puts++
+	c.clock.Advance(c.model.CachePut)
+	e, store := c.shouldStore(item, delay)
+	if !store {
+		return e
+	}
+	size := r.SizeBytes()
+	if size > c.conf.SparkBudget {
+		return nil
+	}
+	c.MakeSpaceSpark(size)
+	if e == nil {
+		if old := c.find(item); old != nil {
+			return old
+		}
+		e = &Entry{Key: item}
+		c.insert(e)
+	}
+	if level == spark.StorageNone {
+		level = spark.StorageMemory
+	}
+	r.Persist(level)
+	e.Backend = BackendSpark
+	e.Status = StatusCached
+	e.RDD = r
+	e.ChildRDDs = children
+	e.Broadcasts = bcasts
+	e.ComputeCost = computeCost
+	e.Size = size
+	e.Height = item.Height()
+	e.LastAccess = c.clock.Now()
+	c.sparkUsed += size
+	return e
+}
+
+// sparkScore is the Eq. (1) eviction score: argmin (r_h+r_m+r_j)·c/s.
+func sparkScore(e *Entry) float64 {
+	s := float64(e.Size)
+	if s <= 0 {
+		s = 1
+	}
+	return float64(e.Hits+e.Misses+e.Jobs) * e.ComputeCost / s
+}
+
+// MakeSpaceSpark unpersists reuse RDDs with the lowest Eq. (1) scores until
+// need bytes fit in the reuse share of cluster storage. unpersist is
+// asynchronous in Spark; temporary overflow is absorbed by partition
+// spilling in the block manager, so no driver time is charged.
+func (c *Cache) MakeSpaceSpark(need int64) {
+	for c.sparkUsed+need > c.conf.SparkBudget {
+		var victim *Entry
+		best := math.Inf(1)
+		for _, chain := range c.entries {
+			for _, e := range chain {
+				if e.Backend != BackendSpark || e.Status != StatusCached || e.RDD == nil {
+					continue
+				}
+				if s := sparkScore(e); s < best {
+					best, victim = s, e
+				}
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.Stats.UnpersistsSpark++
+		c.sparkUsed -= victim.Size
+		victim.RDD.Unpersist()
+		c.removeEntry(victim)
+	}
+}
+
+// OnRDDReuse performs the Spark-side bookkeeping of a successful RDD entry
+// reuse: lazy garbage collection of dangling children once the parent is
+// materialized, and asynchronous count() materialization after k
+// unmaterialized touches (§4.1).
+func (c *Cache) OnRDDReuse(e *Entry) {
+	if e.RDD == nil {
+		return
+	}
+	e.Jobs++
+	if e.RDD.IsMaterialized() {
+		c.collectGarbage(e)
+		return
+	}
+	e.UnmatTouch++
+	if int(e.UnmatTouch) >= c.conf.AsyncMatThreshold && c.sc != nil {
+		e.UnmatTouch = 0
+		c.Stats.AsyncMats++
+		_, f := c.sc.Count(e.RDD, true)
+		c.pendingMat = append(c.pendingMat, f)
+	}
+}
+
+// collectGarbage destroys the entry's broadcasts and cleans child RDD
+// shuffle files once its RDD is materialized: any future access reads
+// cached partitions, so the children are stale (Figure 6).
+func (c *Cache) collectGarbage(e *Entry) {
+	if e.gcDone {
+		return
+	}
+	e.gcDone = true
+	for _, b := range e.Broadcasts {
+		if !b.Destroyed() {
+			b.Destroy()
+			c.Stats.GCBroadcasts++
+		}
+	}
+	if c.sc != nil {
+		for _, child := range e.ChildRDDs {
+			c.sc.CleanShuffles(child)
+			c.Stats.GCChildRDDs++
+		}
+	}
+	e.ChildRDDs = nil
+}
+
+// PutGPU caches a device pointer. The gpu.Manager keeps owning the memory;
+// the entry is invalidated if the pointer is recycled.
+func (c *Cache) PutGPU(item *lineage.Item, p *gpu.Pointer, computeCost float64, delay int) *Entry {
+	if !c.conf.GPUReuse || c.gm == nil {
+		return nil
+	}
+	c.Stats.Puts++
+	c.clock.Advance(c.model.CachePut)
+	e, store := c.shouldStore(item, delay)
+	if !store {
+		return e
+	}
+	if e == nil {
+		if old := c.find(item); old != nil {
+			return old
+		}
+		e = &Entry{Key: item}
+		c.insert(e)
+	}
+	e.Backend = BackendGPU
+	e.Status = StatusCached
+	e.GPUPtr = p
+	e.ComputeCost = computeCost
+	e.Size = p.Size()
+	e.Height = item.Height()
+	e.LastAccess = c.clock.Now()
+	p.Height = item.Height()
+	p.ComputeCost = computeCost
+	p.Cached = true
+	c.gpE[p] = e
+	return e
+}
+
+// ReuseGPU retains the entry's pointer for a new live variable (moving it
+// from the free to the live list if needed). It returns false if the
+// pointer was recycled concurrently, in which case the entry is dropped.
+func (c *Cache) ReuseGPU(e *Entry) bool {
+	if e.GPUPtr == nil || c.gm == nil {
+		return false
+	}
+	if !c.gm.Retain(e.GPUPtr) {
+		c.dropEntry(e)
+		return false
+	}
+	return true
+}
+
+// EvictGPUPercent forwards the compiler-injected evict instruction to the
+// GPU memory manager (§5.2).
+func (c *Cache) EvictGPUPercent(frac float64) int64 {
+	if c.gm == nil {
+		return 0
+	}
+	return c.gm.EvictPercent(frac)
+}
+
+// Clear drops every entry and releases Spark/GPU resources; used between
+// experiment repetitions.
+func (c *Cache) Clear() {
+	for _, chain := range c.entries {
+		for _, e := range chain {
+			switch e.Backend {
+			case BackendSpark:
+				if e.RDD != nil && e.RDD.StorageLevel() != spark.StorageNone {
+					e.RDD.Unpersist()
+				}
+			case BackendGPU:
+				if e.GPUPtr != nil {
+					delete(c.gpE, e.GPUPtr)
+				}
+			}
+		}
+	}
+	c.entries = make(map[uint64][]*Entry)
+	c.cpUsed = 0
+	c.sparkUsed = 0
+}

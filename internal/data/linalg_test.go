@@ -1,0 +1,150 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatMulBasic(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !AllClose(c, want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", c, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := Rand(4, 4, -1, 1, 1, 1)
+	if !AllClose(MatMul(a, Identity(4)), a, 1e-12) {
+		t.Fatal("A*I != A")
+	}
+	if !AllClose(MatMul(Identity(4), a), a, 1e-12) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// Property: (AB)C == A(BC).
+func TestMatMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n, p := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := RandNorm(m, k, 0, 1, seed)
+		b := RandNorm(k, n, 0, 1, seed+1)
+		c := RandNorm(n, p, 0, 1, seed+2)
+		return AllClose(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution and (AB)^T = B^T A^T.
+func TestTransposeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := RandNorm(m, k, 0, 1, seed)
+		b := RandNorm(k, n, 0, 1, seed+1)
+		if !AllClose(Transpose(Transpose(a)), a, 0) {
+			return false
+		}
+		return AllClose(Transpose(MatMul(a, b)), MatMul(Transpose(b), Transpose(a)), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TSMM(A) == A^T A.
+func TestTSMMMatchesMatMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := RandNorm(m, n, 0, 1, seed)
+		return AllClose(TSMM(a), MatMul(Transpose(a), a), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Solve returns x with A x == b, for SPD and general matrices.
+func TestSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		// SPD case: A = M^T M + n*I.
+		m := RandNorm(n, n, 0, 1, seed)
+		spd := Add(TSMM(m), MulScalar(Identity(n), float64(n)))
+		b := RandNorm(n, 1, 0, 1, seed+1)
+		x := Solve(spd, b)
+		if !AllClose(MatMul(spd, x), b, 1e-6) {
+			return false
+		}
+		// General (possibly non-SPD) case.
+		g := Sub(RandNorm(n, n, 0, 1, seed+2), MulScalar(Identity(n), 3))
+		x2 := Solve(g, b)
+		return AllClose(MatMul(g, x2), b, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveMultipleRHS(t *testing.T) {
+	a := FromSlice(2, 2, []float64{4, 1, 1, 3})
+	b := FromSlice(2, 2, []float64{1, 0, 0, 1})
+	x := Solve(a, b)
+	if !AllClose(MatMul(a, x), b, 1e-10) {
+		t.Fatal("solve with matrix RHS failed")
+	}
+}
+
+func TestSolveSingularPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on singular matrix")
+		}
+	}()
+	Solve(Zeros(2, 2), Ones(2, 1))
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2(FromSlice(1, 2, []float64{3, 4})); got != 5 {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+}
+
+func TestPCAReconstruction(t *testing.T) {
+	// Data along one dominant direction: first component must capture it.
+	n := 200
+	x := New(n, 3)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		tv := rng.NormFloat64() * 10
+		x.Set(i, 0, tv)
+		x.Set(i, 1, 2*tv+rng.NormFloat64()*0.01)
+		x.Set(i, 2, rng.NormFloat64()*0.01)
+	}
+	comps := PCA(x, 1, 3)
+	if comps.Rows != 3 || comps.Cols != 1 {
+		t.Fatalf("PCA dims = %dx%d", comps.Rows, comps.Cols)
+	}
+	// Direction should be ~ (1,2,0)/sqrt(5) up to sign.
+	r := comps.At(1, 0) / comps.At(0, 0)
+	if r < 1.9 || r > 2.1 {
+		t.Fatalf("dominant direction ratio = %g, want ~2", r)
+	}
+}

@@ -1,0 +1,256 @@
+package data
+
+import (
+	"fmt"
+	"math"
+)
+
+// broadcastable reports how b aligns to a: equal shape, scalar, row vector
+// matching a's cols, or column vector matching a's rows.
+func broadcastIndex(a, b *Matrix, i, j int) float64 {
+	switch {
+	case b.Rows == a.Rows && b.Cols == a.Cols:
+		return b.At(i, j)
+	case b.IsScalar():
+		return b.Data[0]
+	case b.Rows == 1 && b.Cols == a.Cols:
+		return b.At(0, j)
+	case b.Cols == 1 && b.Rows == a.Rows:
+		return b.At(i, 0)
+	default:
+		panic(fmt.Sprintf("data: shapes %dx%d and %dx%d not broadcastable",
+			a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// outShape picks the result shape for a binary op with broadcasting.
+func outShape(a, b *Matrix) (*Matrix, *Matrix) {
+	// The larger operand defines the shape; scalars and vectors broadcast.
+	if a.Cells() >= b.Cells() {
+		return a, b
+	}
+	return b, a
+}
+
+// binary applies f cellwise with broadcasting. When shapes are swapped the
+// function arguments keep their original order.
+func binary(a, b *Matrix, f func(x, y float64) float64) *Matrix {
+	big, small := outShape(a, b)
+	out := New(big.Rows, big.Cols)
+	swapped := big != a
+	for i := 0; i < big.Rows; i++ {
+		for j := 0; j < big.Cols; j++ {
+			x := big.At(i, j)
+			y := broadcastIndex(big, small, i, j)
+			if swapped {
+				x, y = y, x
+			}
+			out.Set(i, j, f(x, y))
+		}
+	}
+	return out
+}
+
+// Add returns a + b with broadcasting.
+func Add(a, b *Matrix) *Matrix { return binary(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a - b with broadcasting.
+func Sub(a, b *Matrix) *Matrix { return binary(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns the elementwise product with broadcasting.
+func Mul(a, b *Matrix) *Matrix { return binary(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Div returns the elementwise quotient with broadcasting.
+func Div(a, b *Matrix) *Matrix { return binary(a, b, func(x, y float64) float64 { return x / y }) }
+
+// Min returns the elementwise minimum with broadcasting.
+func MinElem(a, b *Matrix) *Matrix { return binary(a, b, math.Min) }
+
+// MaxElem returns the elementwise maximum with broadcasting.
+func MaxElem(a, b *Matrix) *Matrix { return binary(a, b, math.Max) }
+
+// Greater returns 1/0 indicators of a > b with broadcasting.
+func Greater(a, b *Matrix) *Matrix {
+	return binary(a, b, func(x, y float64) float64 {
+		if x > y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Less returns 1/0 indicators of a < b with broadcasting.
+func Less(a, b *Matrix) *Matrix {
+	return binary(a, b, func(x, y float64) float64 {
+		if x < y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Map applies f to each cell.
+func Map(a *Matrix, f func(float64) float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// AddScalar returns a + s.
+func AddScalar(a *Matrix, s float64) *Matrix { return Map(a, func(x float64) float64 { return x + s }) }
+
+// MulScalar returns a * s.
+func MulScalar(a *Matrix, s float64) *Matrix { return Map(a, func(x float64) float64 { return x * s }) }
+
+// PowScalar returns a^s elementwise.
+func PowScalar(a *Matrix, s float64) *Matrix {
+	if s == 2 {
+		return Map(a, func(x float64) float64 { return x * x })
+	}
+	return Map(a, func(x float64) float64 { return math.Pow(x, s) })
+}
+
+// Exp returns e^a elementwise.
+func Exp(a *Matrix) *Matrix { return Map(a, math.Exp) }
+
+// Log returns the natural log elementwise.
+func Log(a *Matrix) *Matrix { return Map(a, math.Log) }
+
+// Sqrt returns the square root elementwise.
+func Sqrt(a *Matrix) *Matrix { return Map(a, math.Sqrt) }
+
+// Abs returns the absolute value elementwise.
+func Abs(a *Matrix) *Matrix { return Map(a, math.Abs) }
+
+// Sigmoid returns 1/(1+e^-a) elementwise.
+func Sigmoid(a *Matrix) *Matrix {
+	return Map(a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// Sum returns the sum of all cells, skipping NaNs is NOT done (use NanSum).
+func Sum(a *Matrix) float64 {
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all cells.
+func Mean(a *Matrix) float64 { return Sum(a) / float64(a.Cells()) }
+
+// Min returns the smallest cell.
+func Min(a *Matrix) float64 {
+	m := math.Inf(1)
+	for _, v := range a.Data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest cell.
+func Max(a *Matrix) float64 {
+	m := math.Inf(-1)
+	for _, v := range a.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// RowSums returns an n x 1 vector of row sums.
+func RowSums(a *Matrix) *Matrix {
+	out := New(a.Rows, 1)
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for j := 0; j < a.Cols; j++ {
+			s += a.At(i, j)
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// ColSums returns a 1 x m vector of column sums.
+func ColSums(a *Matrix) *Matrix {
+	out := New(1, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j] += a.At(i, j)
+		}
+	}
+	return out
+}
+
+// ColMeans returns a 1 x m vector of column means.
+func ColMeans(a *Matrix) *Matrix {
+	out := ColSums(a)
+	inv := 1 / float64(a.Rows)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	return out
+}
+
+// ColVars returns a 1 x m vector of column variances (population).
+func ColVars(a *Matrix) *Matrix {
+	mu := ColMeans(a)
+	out := New(1, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			d := a.At(i, j) - mu.Data[j]
+			out.Data[j] += d * d
+		}
+	}
+	inv := 1 / float64(a.Rows)
+	for j := range out.Data {
+		out.Data[j] *= inv
+	}
+	return out
+}
+
+// ColMaxs returns a 1 x m vector of column maxima.
+func ColMaxs(a *Matrix) *Matrix {
+	out := Fill(1, a.Cols, math.Inf(-1))
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := a.At(i, j); v > out.Data[j] {
+				out.Data[j] = v
+			}
+		}
+	}
+	return out
+}
+
+// ColMins returns a 1 x m vector of column minima.
+func ColMins(a *Matrix) *Matrix {
+	out := Fill(1, a.Cols, math.Inf(1))
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := a.At(i, j); v < out.Data[j] {
+				out.Data[j] = v
+			}
+		}
+	}
+	return out
+}
+
+// RowMaxIndex returns, per row, the index (0-based) of the maximal cell.
+func RowMaxIndex(a *Matrix) *Matrix {
+	out := New(a.Rows, 1)
+	for i := 0; i < a.Rows; i++ {
+		best, arg := math.Inf(-1), 0
+		for j := 0; j < a.Cols; j++ {
+			if v := a.At(i, j); v > best {
+				best, arg = v, j
+			}
+		}
+		out.Data[i] = float64(arg)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddBroadcasting(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	row := FromSlice(1, 3, []float64{10, 20, 30})
+	col := FromSlice(2, 1, []float64{100, 200})
+	s := Scalar(1000)
+
+	got := Add(a, row)
+	want := FromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36})
+	if !AllClose(got, want, 0) {
+		t.Fatalf("row broadcast: %v", got)
+	}
+	got = Add(a, col)
+	want = FromSlice(2, 3, []float64{101, 102, 103, 204, 205, 206})
+	if !AllClose(got, want, 0) {
+		t.Fatalf("col broadcast: %v", got)
+	}
+	got = Add(a, s)
+	if got.At(1, 2) != 1006 {
+		t.Fatalf("scalar broadcast: %v", got)
+	}
+}
+
+func TestSubOrderPreservedWhenSwapped(t *testing.T) {
+	// Small operand first: the result must still be a - b elementwise.
+	a := Scalar(10)
+	b := FromSlice(1, 3, []float64{1, 2, 3})
+	got := Sub(a, b)
+	want := FromSlice(1, 3, []float64{9, 8, 7})
+	if !AllClose(got, want, 0) {
+		t.Fatalf("Sub(scalar, vec) = %v, want %v", got, want)
+	}
+	got = Div(Scalar(12), FromSlice(1, 2, []float64{3, 4}))
+	want = FromSlice(1, 2, []float64{4, 3})
+	if !AllClose(got, want, 0) {
+		t.Fatalf("Div(scalar, vec) = %v, want %v", got, want)
+	}
+}
+
+func TestIncompatibleShapesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(New(2, 3), New(3, 2))
+}
+
+func TestAggregates(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if Sum(m) != 21 || Mean(m) != 3.5 || Min(m) != 1 || Max(m) != 6 {
+		t.Fatal("scalar aggregates wrong")
+	}
+	if !AllClose(RowSums(m), FromSlice(2, 1, []float64{6, 15}), 0) {
+		t.Fatal("RowSums wrong")
+	}
+	if !AllClose(ColSums(m), FromSlice(1, 3, []float64{5, 7, 9}), 0) {
+		t.Fatal("ColSums wrong")
+	}
+	if !AllClose(ColMeans(m), FromSlice(1, 3, []float64{2.5, 3.5, 4.5}), 0) {
+		t.Fatal("ColMeans wrong")
+	}
+	if !AllClose(ColMins(m), FromSlice(1, 3, []float64{1, 2, 3}), 0) {
+		t.Fatal("ColMins wrong")
+	}
+	if !AllClose(ColMaxs(m), FromSlice(1, 3, []float64{4, 5, 6}), 0) {
+		t.Fatal("ColMaxs wrong")
+	}
+}
+
+func TestColVars(t *testing.T) {
+	m := FromSlice(2, 2, []float64{0, 1, 2, 1})
+	got := ColVars(m)
+	want := FromSlice(1, 2, []float64{1, 0})
+	if !AllClose(got, want, 1e-12) {
+		t.Fatalf("ColVars = %v, want %v", got, want)
+	}
+}
+
+func TestRowMaxIndex(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 9, 3, 7, 2, 5})
+	got := RowMaxIndex(m)
+	if got.At(0, 0) != 1 || got.At(1, 0) != 0 {
+		t.Fatalf("RowMaxIndex = %v", got)
+	}
+}
+
+func TestComparisonOps(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 5, 3})
+	b := FromSlice(1, 3, []float64{2, 2, 3})
+	if !AllClose(Greater(a, b), FromSlice(1, 3, []float64{0, 1, 0}), 0) {
+		t.Fatal("Greater wrong")
+	}
+	if !AllClose(Less(a, b), FromSlice(1, 3, []float64{1, 0, 0}), 0) {
+		t.Fatal("Less wrong")
+	}
+	if !AllClose(MinElem(a, b), FromSlice(1, 3, []float64{1, 2, 3}), 0) {
+		t.Fatal("MinElem wrong")
+	}
+	if !AllClose(MaxElem(a, b), FromSlice(1, 3, []float64{2, 5, 3}), 0) {
+		t.Fatal("MaxElem wrong")
+	}
+}
+
+func TestUnaryMaps(t *testing.T) {
+	m := FromSlice(1, 3, []float64{0, 1, 4})
+	if !AllClose(Sqrt(m), FromSlice(1, 3, []float64{0, 1, 2}), 0) {
+		t.Fatal("Sqrt wrong")
+	}
+	if !AllClose(PowScalar(m, 2), FromSlice(1, 3, []float64{0, 1, 16}), 0) {
+		t.Fatal("PowScalar wrong")
+	}
+	if !AllClose(Abs(FromSlice(1, 2, []float64{-3, 2})), FromSlice(1, 2, []float64{3, 2}), 0) {
+		t.Fatal("Abs wrong")
+	}
+	e := Exp(Scalar(1))
+	if math.Abs(e.ScalarValue()-math.E) > 1e-12 {
+		t.Fatal("Exp wrong")
+	}
+	if math.Abs(Log(Scalar(math.E)).ScalarValue()-1) > 1e-12 {
+		t.Fatal("Log wrong")
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	m := Sigmoid(FromSlice(1, 3, []float64{-100, 0, 100}))
+	if m.At(0, 0) > 1e-10 || math.Abs(m.At(0, 1)-0.5) > 1e-12 || m.At(0, 2) < 1-1e-10 {
+		t.Fatalf("Sigmoid = %v", m)
+	}
+}
+
+// Property: Add is commutative and Sub(a,a) is zero.
+func TestAddSubProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSmall(rng, 5)
+		b := New(a.Rows, a.Cols)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		if !AllClose(Add(a, b), Add(b, a), 1e-12) {
+			return false
+		}
+		return AllClose(Sub(a, a), Zeros(a.Rows, a.Cols), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sum(a) + Sum(b) == Sum(Add(a,b)) for equal shapes.
+func TestSumLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSmall(rng, 6)
+		b := New(a.Rows, a.Cols)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		return math.Abs(Sum(a)+Sum(b)-Sum(Add(a, b))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"memphis/internal/data"
+)
+
+func TestRegressionDeterministic(t *testing.T) {
+	x1, y1 := Regression(50, 5, 7)
+	x2, y2 := Regression(50, 5, 7)
+	if !data.AllClose(x1, x2, 0) || !data.AllClose(y1, y2, 0) {
+		t.Fatal("same seed must reproduce the dataset")
+	}
+	if x1.Rows != 50 || x1.Cols != 5 || y1.Rows != 50 || y1.Cols != 1 {
+		t.Fatal("wrong dims")
+	}
+}
+
+func TestClassificationBalance(t *testing.T) {
+	_, y := Classification(1000, 10, 0.3, 3)
+	pos := data.Sum(y)
+	if pos < 250 || pos > 350 {
+		t.Fatalf("positives = %g, want ~300", pos)
+	}
+}
+
+func TestMovieLensSparsity(t *testing.T) {
+	m := MovieLens(200, 500, 5)
+	nnz := 0
+	for _, v := range m.Data {
+		if v != 0 {
+			nnz++
+			if v < 1 || v > 5 {
+				t.Fatalf("rating %g out of range", v)
+			}
+		}
+	}
+	frac := float64(nnz) / float64(m.Cells())
+	if frac > 0.02 {
+		t.Fatalf("sparsity %g, want <= 0.02 (MovieLens-like)", frac)
+	}
+}
+
+func TestAPSMissingAndImbalance(t *testing.T) {
+	x, y := APS(5000, 20, 9)
+	missFrac := float64(data.CountNaN(x)) / float64(x.Cells())
+	if missFrac < 0.003 || missFrac > 0.01 {
+		t.Fatalf("missing rate = %g, want ~0.006", missFrac)
+	}
+	posFrac := data.Sum(y) / float64(y.Rows)
+	if posFrac < 0.005 || posFrac > 0.04 {
+		t.Fatalf("positive rate = %g, want ~0.017", posFrac)
+	}
+}
+
+func TestKDD98CategoricalCodes(t *testing.T) {
+	x, y := KDD98(500, 10, 4, 11)
+	for j := 0; j < 4; j++ {
+		for i := 0; i < x.Rows; i++ {
+			v := x.At(i, j)
+			if v != math.Trunc(v) || v < 1 || v > 12 {
+				t.Fatalf("cat col %d has non-code value %g", j, v)
+			}
+		}
+	}
+	if y.Rows != 500 {
+		t.Fatal("bad target")
+	}
+}
+
+func TestWMT14ZipfDuplicates(t *testing.T) {
+	ids, emb := WMT14Words(2000, 500, 16, 13)
+	if emb.Rows != 500 || emb.Cols != 16 {
+		t.Fatal("bad embeddings")
+	}
+	seen := make(map[int]bool)
+	dups := 0
+	for _, id := range ids {
+		if id < 0 || id >= 500 {
+			t.Fatalf("word id %d out of vocab", id)
+		}
+		if seen[id] {
+			dups++
+		}
+		seen[id] = true
+	}
+	// Zipf text repeats heavily: well over half the tokens are repeats.
+	if float64(dups)/float64(len(ids)) < 0.5 {
+		t.Fatalf("duplicate rate %g too low for Zipf text", float64(dups)/float64(len(ids)))
+	}
+}
+
+func TestImagesDuplicateRate(t *testing.T) {
+	imgs := Images(400, 1, 4, 4, 0.4, 17)
+	rate := DuplicateRate(imgs)
+	if rate < 0.25 || rate > 0.55 {
+		t.Fatalf("duplicate rate = %g, want ~0.4", rate)
+	}
+	none := Images(400, 1, 4, 4, 0, 18)
+	if DuplicateRate(none) != 0 {
+		t.Fatal("dupFrac=0 must yield unique images")
+	}
+}

@@ -1,0 +1,168 @@
+package dml
+
+import (
+	"strconv"
+
+	"memphis/internal/ir"
+)
+
+// unaryBuiltins maps DML builtin names to single-argument ir constructors.
+var unaryBuiltins = map[string]func(*ir.Node) *ir.Node{
+	"t":            ir.T,
+	"tsmm":         ir.TSMM,
+	"exp":          ir.Exp,
+	"log":          ir.Log,
+	"sqrt":         ir.Sqrt,
+	"abs":          ir.Abs,
+	"sigmoid":      ir.Sigmoid,
+	"relu":         ir.ReLU,
+	"softmax":      ir.Softmax,
+	"sum":          ir.Sum,
+	"mean":         ir.Mean,
+	"rowSums":      ir.RowSums,
+	"colSums":      ir.ColSums,
+	"colMeans":     ir.ColMeans,
+	"colVars":      ir.ColVars,
+	"colMins":      ir.ColMins,
+	"colMaxs":      ir.ColMaxs,
+	"rowIndexMax":  ir.RowMaxIdx,
+	"nrow":         ir.Nrow,
+	"ncol":         ir.Ncol,
+	"diag":         ir.Diag,
+	"scale":        ir.Scale,
+	"minmax":       ir.MinMax,
+	"imputeByMean": ir.ImputeMean,
+	"imputeByMode": ir.ImputeMode,
+	"outlierByIQR": ir.OutlierIQR,
+	"recode":       ir.Recode,
+	"oneHot":       ir.OneHot,
+}
+
+// binaryBuiltins maps names to two-argument constructors.
+var binaryBuiltins = map[string]func(a, b *ir.Node) *ir.Node{
+	"solve": ir.Solve,
+	"cbind": ir.CBind,
+	"rbind": ir.RBind,
+	"min":   ir.Min,
+	"max":   ir.Max,
+}
+
+// isBuiltin reports whether the name resolves to a builtin (as opposed to
+// a user function that must be called as a statement).
+func isBuiltin(name string) bool {
+	if _, ok := unaryBuiltins[name]; ok {
+		return true
+	}
+	if _, ok := binaryBuiltins[name]; ok {
+		return true
+	}
+	switch name {
+	case "rand", "dropout", "bin", "pca", "replaceNaN", "oneHotFixed":
+		return true
+	}
+	return false
+}
+
+// litInt extracts an integer literal argument.
+func litInt(n *ir.Node) (int, bool) {
+	if n.Op != "lit" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(n.Attr("value"), 64)
+	if err != nil {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// litFloat extracts a float literal argument.
+func litFloat(n *ir.Node) (float64, bool) {
+	if n.Op != "lit" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(n.Attr("value"), 64)
+	return v, err == nil
+}
+
+// buildCall lowers a builtin call to an ir node.
+func (p *parser) buildCall(name token, args []*ir.Node) (*ir.Node, error) {
+	if f, ok := unaryBuiltins[name.text]; ok {
+		if len(args) != 1 {
+			return nil, p.errf(name, "%s expects 1 argument, got %d", name.text, len(args))
+		}
+		return f(args[0]), nil
+	}
+	if f, ok := binaryBuiltins[name.text]; ok {
+		if len(args) != 2 {
+			return nil, p.errf(name, "%s expects 2 arguments, got %d", name.text, len(args))
+		}
+		return f(args[0], args[1]), nil
+	}
+	switch name.text {
+	case "rand":
+		// rand(rows, cols, min, max, sparsity, seed), all literals.
+		if len(args) != 6 {
+			return nil, p.errf(name, "rand expects 6 literal arguments")
+		}
+		lits := make([]float64, 6)
+		for i, a := range args {
+			v, ok := litFloat(a)
+			if !ok {
+				return nil, p.errf(name, "rand argument %d must be a literal", i+1)
+			}
+			lits[i] = v
+		}
+		return ir.Rand(int(lits[0]), int(lits[1]), lits[2], lits[3], lits[4], int64(lits[5])), nil
+	case "dropout":
+		// dropout(X, rate, seed); rate may be a variable (grid loops).
+		if len(args) != 3 {
+			return nil, p.errf(name, "dropout expects 3 arguments")
+		}
+		seed, ok := litInt(args[2])
+		if !ok {
+			return nil, p.errf(name, "dropout seed must be a literal")
+		}
+		if rate, ok := litFloat(args[1]); ok {
+			return ir.Dropout(args[0], rate, int64(seed)), nil
+		}
+		return ir.DropoutVar(args[0], args[1], int64(seed)), nil
+	case "bin":
+		if len(args) != 2 {
+			return nil, p.errf(name, "bin expects 2 arguments")
+		}
+		n, ok := litInt(args[1])
+		if !ok {
+			return nil, p.errf(name, "bin count must be a literal")
+		}
+		return ir.Bin(args[0], n), nil
+	case "oneHotFixed":
+		if len(args) != 2 {
+			return nil, p.errf(name, "oneHotFixed expects 2 arguments")
+		}
+		d, ok := litInt(args[1])
+		if !ok {
+			return nil, p.errf(name, "oneHotFixed domain must be a literal")
+		}
+		return ir.OneHotFixed(args[0], d), nil
+	case "pca":
+		if len(args) != 3 {
+			return nil, p.errf(name, "pca expects (X, k, seed)")
+		}
+		k, ok1 := litInt(args[1])
+		seed, ok2 := litInt(args[2])
+		if !ok1 || !ok2 {
+			return nil, p.errf(name, "pca k and seed must be literals")
+		}
+		return ir.PCA(args[0], k, int64(seed)), nil
+	case "replaceNaN":
+		if len(args) != 2 {
+			return nil, p.errf(name, "replaceNaN expects 2 arguments")
+		}
+		v, ok := litFloat(args[1])
+		if !ok {
+			return nil, p.errf(name, "replaceNaN value must be a literal")
+		}
+		return ir.ReplaceNaN(args[0], v), nil
+	}
+	return nil, p.errf(name, "unknown builtin %q (user functions must be called as statements: x = f(...) or [a,b] = f(...))", name.text)
+}

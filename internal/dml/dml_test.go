@@ -1,0 +1,215 @@
+package dml
+
+import (
+	"strings"
+	"testing"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/data"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+	"memphis/internal/spark"
+)
+
+// run executes a script against bound inputs and returns the context.
+func run(t *testing.T, src string, mode runtime.ReuseMode, bind map[string]*data.Matrix) *runtime.Context {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := runtime.New(runtime.Config{
+		Mode: mode, Compiler: compiler.DefaultConfig(),
+		Cache: core.DefaultConfig(), Spark: spark.DefaultConfig(),
+	})
+	for name, m := range bind {
+		ctx.BindHost(name, m)
+	}
+	if err := ctx.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func scalar(t *testing.T, ctx *runtime.Context, name string) float64 {
+	t.Helper()
+	v := ctx.Var(name)
+	if v == nil {
+		t.Fatalf("variable %q unbound", name)
+	}
+	return ctx.EnsureHostValue(v).ScalarValue()
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	ctx := run(t, "x = 2 + 3 * 4 ^ 2 - 6 / 3\n", runtime.ReuseNone, nil)
+	if got := scalar(t, ctx, "x"); got != 48 {
+		t.Fatalf("x = %g, want 48 (2+3*16-2)", got)
+	}
+}
+
+func TestParseParenthesesAndUnaryMinus(t *testing.T) {
+	ctx := run(t, "x = -(2 + 3) * -2\n", runtime.ReuseNone, nil)
+	if got := scalar(t, ctx, "x"); got != 10 {
+		t.Fatalf("x = %g, want 10", got)
+	}
+}
+
+func TestParseMatrixProgram(t *testing.T) {
+	x := data.RandNorm(40, 6, 0, 1, 3)
+	y := data.RandNorm(40, 1, 0, 1, 4)
+	src := `
+# ridge regression via the normal equations
+A = t(X) %*% X
+b = t(X) %*% y
+beta = solve(A + 0.1, b)
+err = sum((y - X %*% beta)^2)
+`
+	ctx := run(t, src, runtime.ReuseNone, map[string]*data.Matrix{"X": x, "y": y})
+	beta := ctx.EnsureHostValue(ctx.Var("beta"))
+	want := data.Solve(data.AddScalar(data.TSMM(x), 0.1), data.MatMul(data.Transpose(x), y))
+	if !data.AllClose(beta, want, 1e-9) {
+		t.Fatal("beta mismatch")
+	}
+	wantErr := data.Sum(data.PowScalar(data.Sub(y, data.MatMul(x, want)), 2))
+	if got := scalar(t, ctx, "err"); got-wantErr > 1e-9 || wantErr-got > 1e-9 {
+		t.Fatalf("err = %g, want %g", got, wantErr)
+	}
+}
+
+func TestParseForLoopAndReuse(t *testing.T) {
+	x := data.RandNorm(60, 6, 0, 1, 5)
+	src := `
+for (lambda in [0.1, 1, 10]) {
+    G = t(X) %*% X
+    s = sum(G) + lambda
+}
+`
+	ctx := run(t, src, runtime.ReuseMemphis, map[string]*data.Matrix{"X": x})
+	if ctx.Cache.Stats.HitsCP == 0 {
+		t.Fatal("the gram matrix must be reused across the grid")
+	}
+	want := data.Sum(data.TSMM(x)) + 10
+	if got := scalar(t, ctx, "s"); got-want > 1e-9 || want-got > 1e-9 {
+		t.Fatalf("s = %g, want %g", got, want)
+	}
+}
+
+func TestParseWhileAndIf(t *testing.T) {
+	src := `
+i = 0
+acc = 0
+while (i < 5) {
+    acc = acc + i
+    i = i + 1
+}
+if (acc > 9) {
+    flag = 1
+} else {
+    flag = 0
+}
+`
+	ctx := run(t, src, runtime.ReuseNone, nil)
+	if got := scalar(t, ctx, "acc"); got != 10 {
+		t.Fatalf("acc = %g, want 10", got)
+	}
+	if got := scalar(t, ctx, "flag"); got != 1 {
+		t.Fatalf("flag = %g, want 1", got)
+	}
+}
+
+func TestParseFunctionDefinitionAndCall(t *testing.T) {
+	x := data.RandNorm(50, 5, 0, 1, 7)
+	y := data.RandNorm(50, 1, 0, 1, 8)
+	src := `
+linReg = function(X, y, reg) -> (beta) {
+    A = t(X) %*% X
+    beta = solve(A + reg, t(X) %*% y)
+}
+for (reg in [0.5, 0.5]) {
+    [beta] = linReg(X, y, reg)
+}
+`
+	ctx := run(t, src, runtime.ReuseMemphis, map[string]*data.Matrix{"X": x, "y": y})
+	if ctx.Stats.FuncCalls != 2 || ctx.Stats.FuncReuses != 1 {
+		t.Fatalf("FuncCalls=%d FuncReuses=%d, want 2/1", ctx.Stats.FuncCalls, ctx.Stats.FuncReuses)
+	}
+	want := data.Solve(data.AddScalar(data.TSMM(x), 0.5), data.MatMul(data.Transpose(x), y))
+	if !data.AllClose(ctx.EnsureHostValue(ctx.Var("beta")), want, 1e-9) {
+		t.Fatal("beta mismatch through function call")
+	}
+}
+
+func TestParseSingleAssignUserCall(t *testing.T) {
+	src := `
+double = function(a) -> (r) {
+    r = a * 2
+}
+x = double(21)
+`
+	ctx := run(t, src, runtime.ReuseNone, nil)
+	if got := scalar(t, ctx, "x"); got != 42 {
+		t.Fatalf("x = %g, want 42", got)
+	}
+}
+
+func TestParseBuiltins(t *testing.T) {
+	src := `
+X = rand(20, 4, 0, 1, 1, 9)
+m = colMeans(X)
+n = nrow(X)
+s = scale(X)
+v = sum(colVars(s))
+`
+	ctx := run(t, src, runtime.ReuseNone, nil)
+	if got := scalar(t, ctx, "n"); got != 20 {
+		t.Fatalf("nrow = %g", got)
+	}
+	if got := scalar(t, ctx, "v"); got-4 > 1e-9 || 4-got > 1e-9 {
+		t.Fatalf("sum of unit variances = %g, want 4", got)
+	}
+}
+
+func TestParseDropoutVariants(t *testing.T) {
+	src := `
+X = rand(10, 10, 0, 1, 1, 3)
+a = sum(dropout(X, 0.5, 7))
+for (p in [0.5]) {
+    b = sum(dropout(X, p, 7))
+}
+`
+	ctx := run(t, src, runtime.ReuseNone, nil)
+	if scalar(t, ctx, "a") != scalar(t, ctx, "b") {
+		t.Fatal("literal and variable dropout rates must agree for equal values")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x = ", "unexpected token"},
+		{"x = foo(1)", "undefined function"},
+		{"x = foo(1) + 2", "unknown builtin"},
+		{"for (i in [a]) { x = 1 }", "numeric literals"},
+		{"x = 1 ~ 2", "unexpected character"},
+		{"f = function(a -> (r) { r = a }", "expected"},
+		{"x = t(1, 2)", "expects 1 argument"},
+		{"x = solve(1)", "expects 2 arguments"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "# header comment\nx = 1 # trailing\n# footer\n"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Main) != 1 {
+		t.Fatalf("blocks = %d", len(prog.Main))
+	}
+	_ = prog.Main[0].(*ir.BasicBlock)
+}

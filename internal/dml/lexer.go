@@ -1,0 +1,118 @@
+// Package dml parses a small SystemDS-DML-flavoured scripting language into
+// ir programs, completing the paper's program-compilation story (§2.1):
+// scripts are compiled to a hierarchy of blocks whose last level is a DAG
+// of operations. The subset covers assignments, arithmetic and comparison
+// expressions, builtin calls, user function definitions, for/while/if
+// control flow, and multi-assignment calls:
+//
+//	linReg = function(X, y, reg, eye) -> (beta) {
+//	    A = t(X) %*% X
+//	    beta = solve(A + eye * reg, t(X) %*% y)
+//	}
+//	for (lambda in [0.01, 0.1, 1]) {
+//	    [beta] = linReg(X, y, lambda, eye)
+//	    err = sum((y - X %*% beta)^2)
+//	}
+package dml
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokOp      // + - * / ^ %*% = -> ( ) [ ] { } , < > <= >= == !=
+	tokKeyword // function for while if else in
+	tokNewline
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"function": true, "for": true, "while": true,
+	"if": true, "else": true, "in": true,
+}
+
+// lex splits the script into tokens; newlines are significant (statement
+// separators) except directly after operators and inside brackets.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '\n':
+			toks = append(toks, token{tokNewline, "\n", line})
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, word, line})
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			seenE := false
+			for j < len(src) {
+				d := src[j]
+				if unicode.IsDigit(rune(d)) || d == '.' {
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenE {
+					seenE = true
+					j++
+					if j < len(src) && (src[j] == '+' || src[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case strings.HasPrefix(src[i:], "%*%"):
+			toks = append(toks, token{tokOp, "%*%", line})
+			i += 3
+		case strings.HasPrefix(src[i:], "->"):
+			toks = append(toks, token{tokOp, "->", line})
+			i += 2
+		case strings.HasPrefix(src[i:], "<=") || strings.HasPrefix(src[i:], ">=") ||
+			strings.HasPrefix(src[i:], "==") || strings.HasPrefix(src[i:], "!="):
+			toks = append(toks, token{tokOp, src[i : i+2], line})
+			i += 2
+		case strings.ContainsRune("+-*/^=()[]{},<>", rune(c)):
+			toks = append(toks, token{tokOp, string(c), line})
+			i++
+		default:
+			return nil, fmt.Errorf("dml: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}

@@ -1,0 +1,92 @@
+// Package gpu simulates a CUDA-like accelerator backend: a single command
+// stream with asynchronous kernel execution, synchronization barriers on
+// device-to-host copies and deallocations, a device memory space with a
+// first-fit allocator (so fragmentation is real, not modeled), and the
+// MEMPHIS unified memory manager that combines lineage-based pointer reuse
+// with recycling of free pointers (paper §2.3 and §4.2).
+package gpu
+
+import "sort"
+
+// segment is a free region [addr, addr+size) of the device address space.
+type segment struct {
+	addr, size int64
+}
+
+// allocator is a first-fit free-list allocator over a virtual device
+// address space. It is deliberately simple: repeated allocate/free cycles
+// with mixed sizes produce genuine external fragmentation, which is the
+// failure mode MEMPHIS's recycling and eviction-injection address.
+type allocator struct {
+	capacity int64
+	used     int64
+	free     []segment // sorted by addr, coalesced
+}
+
+func newAllocator(capacity int64) *allocator {
+	return &allocator{capacity: capacity, free: []segment{{0, capacity}}}
+}
+
+// alloc returns the address of a free region of the given size, or false if
+// no single region is large enough (even if total free space would suffice —
+// that is fragmentation).
+func (a *allocator) alloc(size int64) (int64, bool) {
+	if size <= 0 {
+		return 0, false
+	}
+	for i := range a.free {
+		if a.free[i].size >= size {
+			addr := a.free[i].addr
+			a.free[i].addr += size
+			a.free[i].size -= size
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			a.used += size
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+// release returns [addr, addr+size) to the free list, coalescing neighbors.
+func (a *allocator) release(addr, size int64) {
+	a.used -= size
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr >= addr })
+	a.free = append(a.free, segment{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = segment{addr, size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].size == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// available returns the total free bytes (possibly fragmented).
+func (a *allocator) available() int64 { return a.capacity - a.used }
+
+// largestFree returns the size of the largest contiguous free region.
+func (a *allocator) largestFree() int64 {
+	var best int64
+	for _, s := range a.free {
+		if s.size > best {
+			best = s.size
+		}
+	}
+	return best
+}
+
+// fragmented reports whether total free space exceeds the largest free
+// region, i.e. an allocation of available() bytes would fail.
+func (a *allocator) fragmented() bool { return a.largestFree() < a.available() }
+
+// reset restores the allocator to a single free region (defragmentation).
+func (a *allocator) reset() {
+	a.used = 0
+	a.free = []segment{{0, a.capacity}}
+}

@@ -1,0 +1,130 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorBasic(t *testing.T) {
+	a := newAllocator(100)
+	p1, ok := a.alloc(40)
+	if !ok || p1 != 0 {
+		t.Fatalf("first alloc at %d ok=%v, want 0 true", p1, ok)
+	}
+	p2, ok := a.alloc(40)
+	if !ok || p2 != 40 {
+		t.Fatalf("second alloc at %d ok=%v, want 40 true", p2, ok)
+	}
+	if _, ok := a.alloc(40); ok {
+		t.Fatal("third alloc of 40 in 100 must fail")
+	}
+	if a.available() != 20 {
+		t.Fatalf("available = %d, want 20", a.available())
+	}
+}
+
+func TestAllocatorZeroSize(t *testing.T) {
+	a := newAllocator(10)
+	if _, ok := a.alloc(0); ok {
+		t.Fatal("zero-size alloc must fail")
+	}
+}
+
+func TestAllocatorCoalescing(t *testing.T) {
+	a := newAllocator(90)
+	p1, _ := a.alloc(30)
+	p2, _ := a.alloc(30)
+	p3, _ := a.alloc(30)
+	a.release(p1, 30)
+	a.release(p3, 30)
+	// Free space is fragmented: 30 at front, 30 at back.
+	if a.largestFree() != 30 {
+		t.Fatalf("largestFree = %d, want 30", a.largestFree())
+	}
+	if !a.fragmented() {
+		t.Fatal("allocator should report fragmentation")
+	}
+	a.release(p2, 30)
+	// All free regions must coalesce into one.
+	if a.largestFree() != 90 || len(a.free) != 1 {
+		t.Fatalf("coalescing failed: largest=%d segments=%d", a.largestFree(), len(a.free))
+	}
+	if a.fragmented() {
+		t.Fatal("fully free allocator is not fragmented")
+	}
+}
+
+func TestAllocatorFragmentationBlocksLargeAlloc(t *testing.T) {
+	a := newAllocator(100)
+	var ptrs []int64
+	for i := 0; i < 10; i++ {
+		p, ok := a.alloc(10)
+		if !ok {
+			t.Fatal("setup alloc failed")
+		}
+		ptrs = append(ptrs, p)
+	}
+	// Free every other block: 50 bytes free but max contiguous 10.
+	for i := 0; i < 10; i += 2 {
+		a.release(ptrs[i], 10)
+	}
+	if a.available() != 50 {
+		t.Fatalf("available = %d, want 50", a.available())
+	}
+	if _, ok := a.alloc(20); ok {
+		t.Fatal("fragmented allocator must fail a 20-byte request")
+	}
+	a.reset()
+	if _, ok := a.alloc(100); !ok {
+		t.Fatal("reset (defrag) should allow full-capacity alloc")
+	}
+}
+
+// Property: after any sequence of allocs and releases, the free segments are
+// sorted, non-overlapping, non-adjacent, and account for capacity-used bytes.
+func TestAllocatorInvariants(t *testing.T) {
+	type block struct{ addr, size int64 }
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := newAllocator(1000)
+		var held []block
+		for step := 0; step < 200; step++ {
+			if rng.Intn(2) == 0 || len(held) == 0 {
+				size := int64(1 + rng.Intn(100))
+				if addr, ok := a.alloc(size); ok {
+					held = append(held, block{addr, size})
+				}
+			} else {
+				i := rng.Intn(len(held))
+				a.release(held[i].addr, held[i].size)
+				held = append(held[:i], held[i+1:]...)
+			}
+			// Invariants.
+			var free int64
+			for k, s := range a.free {
+				free += s.size
+				if s.size <= 0 {
+					return false
+				}
+				if k > 0 {
+					prev := a.free[k-1]
+					if prev.addr+prev.size >= s.addr {
+						return false // overlap or missed coalesce
+					}
+				}
+			}
+			var used int64
+			for _, b := range held {
+				used += b.size
+			}
+			if free != 1000-used || a.available() != free {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+package gpu
+
+import (
+	"sort"
+)
+
+// Policy selects the allocator behaviour, emulating the systems compared in
+// the paper's GPU experiments (§6.3).
+type Policy int
+
+const (
+	// PolicyMemphis is the full Algorithm-1 behaviour: exact-size
+	// recycling, just-larger freeing, repeated freeing, full cleanup,
+	// device-to-host eviction, and defragmentation.
+	PolicyMemphis Policy = iota
+	// PolicyPool emulates PyTorch's caching allocator: exact-size
+	// recycling and plain cudaMalloc, but no eviction of mismatched free
+	// blocks — allocation-pattern shifts OOM without a manual
+	// empty_cache() (the paper's PyTorch vs PyTorch-Clr comparison).
+	PolicyPool
+	// PolicyNone disables recycling entirely: every release is an
+	// immediate cudaFree (SystemDS Base without MEMPHIS's manager).
+	PolicyNone
+)
+
+// ManagerStats counts memory-manager events.
+type ManagerStats struct {
+	Recycled      int64 // exact-size free pointers handed back to new outputs
+	FreshMallocs  int64 // allocations served by cudaMalloc
+	FreedForSpace int64 // free pointers released to satisfy an allocation
+	FullCleanups  int64 // times the whole free list was released
+	HostEvictions int64 // device-to-host eviction rounds
+	Defrags       int64 // full defragmentations
+	ReuseTakes    int64 // free->live transitions due to lineage reuse
+}
+
+// Manager is MEMPHIS's unified GPU memory manager with moving boundaries
+// between live (in-use) and free (recyclable cache) pointers (paper §4.2,
+// Figure 8, Algorithm 1). All pointers from allocation to deallocation are
+// managed here; the free "list" is a map from size to the pointers of that
+// size, ordered on demand by the Eq. 2 eviction score
+//
+//	score(o) = T_a(o) + 1/h(o) + c(o)
+//
+// where T_a is the normalized last-access time, h the lineage height, and c
+// the normalized compute cost; the minimum score is recycled first.
+type Manager struct {
+	dev *Device
+	// Policy selects the allocator behaviour; default PolicyMemphis.
+	Policy Policy
+	live   map[*Pointer]struct{}
+	free   map[int64][]*Pointer
+
+	maxCost float64 // running max compute cost for normalization
+
+	// onRecycle is invoked when a free pointer's memory is recycled or
+	// released, so the lineage cache can invalidate entries wrapping it.
+	onRecycle func(*Pointer)
+
+	// hostEvictor, when set, is asked to release at least `need` bytes of
+	// live cached pointers by evicting them to the host. It returns the
+	// bytes actually released.
+	hostEvictor func(need int64) int64
+
+	Stats ManagerStats
+}
+
+// NewManager returns a memory manager over dev.
+func NewManager(dev *Device) *Manager {
+	return &Manager{
+		dev:  dev,
+		live: make(map[*Pointer]struct{}),
+		free: make(map[int64][]*Pointer),
+	}
+}
+
+// Device returns the managed device.
+func (m *Manager) Device() *Device { return m.dev }
+
+// SetOnRecycle installs the cache-invalidation callback.
+func (m *Manager) SetOnRecycle(f func(*Pointer)) { m.onRecycle = f }
+
+// SetHostEvictor installs the device-to-host eviction hook.
+func (m *Manager) SetHostEvictor(f func(need int64) int64) { m.hostEvictor = f }
+
+// LiveCount returns the number of live pointers.
+func (m *Manager) LiveCount() int { return len(m.live) }
+
+// FreeCount returns the number of free (recyclable) pointers.
+func (m *Manager) FreeCount() int {
+	n := 0
+	for _, q := range m.free {
+		n += len(q)
+	}
+	return n
+}
+
+// FreeBytes returns the bytes held by free pointers.
+func (m *Manager) FreeBytes() int64 {
+	var b int64
+	for size, q := range m.free {
+		b += size * int64(len(q))
+	}
+	return b
+}
+
+// score computes the Eq. 2 eviction score; lower is recycled first.
+func (m *Manager) score(p *Pointer) float64 {
+	now := m.dev.clock.Now()
+	ta := 0.0
+	if now > 0 {
+		ta = p.LastAccess / now
+	}
+	h := float64(p.Height)
+	if h < 1 {
+		h = 1
+	}
+	c := 0.0
+	if m.maxCost > 0 {
+		c = p.ComputeCost / m.maxCost
+	}
+	return ta + 1/h + c
+}
+
+// popFreeExact removes and returns the lowest-score free pointer of exactly
+// the given size, or nil. All free pointers — including those wrapped by
+// lineage cache entries — are subject to recycling (paper §4.2); the Eq. 2
+// score's compute-cost term is what preserves the valuable ones when
+// alternatives exist.
+func (m *Manager) popFreeExact(size int64) *Pointer {
+	q := m.free[size]
+	best := -1
+	for i := range q {
+		if best < 0 || m.score(q[i]) < m.score(q[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	p := q[best]
+	q = append(q[:best], q[best+1:]...)
+	if len(q) == 0 {
+		delete(m.free, size)
+	} else {
+		m.free[size] = q
+	}
+	return p
+}
+
+// popFreeJustLarger removes and returns a free pointer with the smallest
+// size strictly larger than size (lowest score among that size), or nil.
+func (m *Manager) popFreeJustLarger(size int64) *Pointer {
+	var sizes []int64
+	for s := range m.free {
+		if s > size {
+			sizes = append(sizes, s)
+		}
+	}
+	if len(sizes) == 0 {
+		return nil
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	return m.popFreeExact(sizes[0])
+}
+
+// popFreeAny removes and returns the lowest-score free pointer across all
+// sizes, or nil.
+func (m *Manager) popFreeAny() *Pointer {
+	var best *Pointer
+	bestScore := 0.0
+	for _, q := range m.free {
+		for _, p := range q {
+			if s := m.score(p); best == nil || s < bestScore {
+				best, bestScore = p, s
+			}
+		}
+	}
+	if best != nil {
+		m.removeFromFree(best)
+	}
+	return best
+}
+
+func (m *Manager) removeFromFree(p *Pointer) {
+	q := m.free[p.size]
+	for i, c := range q {
+		if c == p {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(m.free, p.size)
+	} else {
+		m.free[p.size] = q
+	}
+}
+
+// releaseFreePointer hands a free pointer's memory back to the device and
+// invalidates any cache entry wrapping it.
+func (m *Manager) releaseFreePointer(p *Pointer) {
+	if m.onRecycle != nil {
+		m.onRecycle(p)
+	}
+	m.dev.Free(p)
+}
+
+// Allocate serves an output allocation request following Algorithm 1.
+// While device memory is available, the pool grows with plain cudaMalloc;
+// once the memory is full, free pointers are recycled as a form of
+// eviction (paper §4.2, Figure 8(d)): first an exact-size pointer, then
+// the just-larger one is freed, then pointers are freed repeatedly, then
+// the whole free list, then device-to-host eviction, and finally a full
+// defragmentation. In steady-state mini-batch processing the memory stays
+// full, so recycling serves every request without cudaMalloc/cudaFree.
+func (m *Manager) Allocate(size int64, height int, computeCost float64) (*Pointer, error) {
+	if computeCost > m.maxCost {
+		m.maxCost = computeCost
+	}
+	// Step 1: under memory pressure, recycle an exact-size free pointer
+	// (no cudaMalloc or cudaFree at all).
+	if m.Policy != PolicyNone && size > m.dev.LargestFree() {
+		if p := m.recycleExact(size, height, computeCost); p != nil {
+			return p, nil
+		}
+	}
+	// Step 2: plain cudaMalloc (grows the pool while memory is available).
+	if p, err := m.dev.Malloc(size); err == nil {
+		m.Stats.FreshMallocs++
+		p.Height = height
+		p.ComputeCost = computeCost
+		m.live[p] = struct{}{}
+		return p, nil
+	}
+	// Malloc can fail despite the pressure check (fragmentation): retry
+	// the exact-size recycle.
+	if m.Policy != PolicyNone {
+		if p := m.recycleExact(size, height, computeCost); p != nil {
+			return p, nil
+		}
+	}
+	if m.Policy != PolicyMemphis {
+		return nil, ErrOOM
+	}
+	// Step 3: free the just-larger pointer and retry (may fragment).
+	if p := m.popFreeJustLarger(size); p != nil {
+		m.releaseFreePointer(p)
+		m.Stats.FreedForSpace++
+		if np, err := m.dev.Malloc(size); err == nil {
+			m.Stats.FreshMallocs++
+			np.Height = height
+			np.ComputeCost = computeCost
+			m.live[np] = struct{}{}
+			return np, nil
+		}
+	}
+	// Step 4: repeatedly free free pointers until the malloc succeeds.
+	for {
+		p := m.popFreeAny()
+		if p == nil {
+			break
+		}
+		m.releaseFreePointer(p)
+		m.Stats.FreedForSpace++
+		if np, err := m.dev.Malloc(size); err == nil {
+			m.Stats.FreshMallocs++
+			np.Height = height
+			np.ComputeCost = computeCost
+			m.live[np] = struct{}{}
+			return np, nil
+		}
+	}
+	m.Stats.FullCleanups++
+	// Step 5: device-to-host eviction of cached live pointers.
+	if m.hostEvictor != nil {
+		if released := m.hostEvictor(size); released > 0 {
+			m.Stats.HostEvictions++
+			if np, err := m.dev.Malloc(size); err == nil {
+				m.Stats.FreshMallocs++
+				np.Height = height
+				np.ComputeCost = computeCost
+				m.live[np] = struct{}{}
+				return np, nil
+			}
+		}
+	}
+	// Step 6: full defragmentation (rare in practice).
+	if m.dev.Available() >= size && m.dev.Fragmented() {
+		m.Defragment()
+		if np, err := m.dev.Malloc(size); err == nil {
+			m.Stats.FreshMallocs++
+			np.Height = height
+			np.ComputeCost = computeCost
+			m.live[np] = struct{}{}
+			return np, nil
+		}
+	}
+	return nil, ErrOOM
+}
+
+// Release decrements a pointer's reference count; at zero the pointer moves
+// from the live list to the free list, keeping its device memory as
+// recyclable cache (Figure 8(b)).
+func (m *Manager) Release(p *Pointer) {
+	if p.freed {
+		return
+	}
+	if p.RefCount > 0 {
+		p.RefCount--
+	}
+	if p.RefCount == 0 {
+		delete(m.live, p)
+		if m.Policy == PolicyNone {
+			m.releaseFreePointer(p)
+			return
+		}
+		m.free[p.size] = append(m.free[p.size], p)
+	}
+}
+
+// Retain marks another live reference to p. If p sits in the free list
+// (lineage reuse of a no-longer-live output, Figure 8(c)) it moves back to
+// the live list.
+func (m *Manager) Retain(p *Pointer) bool {
+	if p.freed {
+		return false
+	}
+	if p.RefCount == 0 {
+		m.removeFromFree(p)
+		m.live[p] = struct{}{}
+		m.Stats.ReuseTakes++
+	}
+	p.RefCount++
+	p.LastAccess = m.dev.clock.Now()
+	return true
+}
+
+// EvictPercent releases the given fraction (0..1] of free-list bytes in
+// eviction-score order. This implements the compiler-injected evict
+// instruction for allocation-pattern shifts (paper §5.2).
+func (m *Manager) EvictPercent(frac float64) int64 {
+	if frac <= 0 {
+		return 0
+	}
+	target := int64(float64(m.FreeBytes()) * frac)
+	var released int64
+	for released < target {
+		p := m.popFreeAny()
+		if p == nil {
+			break
+		}
+		released += p.size
+		m.releaseFreePointer(p)
+	}
+	return released
+}
+
+// Defragment compacts all live allocations. Free-list pointers are
+// released first since their addresses would be invalidated anyway.
+func (m *Manager) Defragment() {
+	for {
+		p := m.popFreeAny()
+		if p == nil {
+			break
+		}
+		m.releaseFreePointer(p)
+	}
+	live := make([]*Pointer, 0, len(m.live))
+	for p := range m.live {
+		live = append(live, p)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].addr < live[j].addr })
+	m.dev.defragment(live)
+	m.Stats.Defrags++
+}
+
+// recycleExact serves an allocation by recycling the lowest-score free
+// pointer of the exact size, invalidating its cache entry.
+func (m *Manager) recycleExact(size int64, height int, computeCost float64) *Pointer {
+	p := m.popFreeExact(size)
+	if p == nil {
+		return nil
+	}
+	if m.onRecycle != nil {
+		m.onRecycle(p)
+	}
+	m.Stats.Recycled++
+	p.Cached = false
+	p.RefCount = 1
+	p.Height = height
+	p.ComputeCost = computeCost
+	p.LastAccess = m.dev.clock.Now()
+	p.value = nil
+	m.live[p] = struct{}{}
+	return p
+}

@@ -1,0 +1,145 @@
+// Package lineage implements MEMPHIS's backend-agnostic, fine-grained
+// lineage tracing (paper §3.2). A lineage trace is a DAG whose nodes
+// (Items) represent operations and whose edges represent data dependencies.
+// A lineage item uniquely identifies an intermediate: two intermediates with
+// equal lineage DAGs are guaranteed to hold identical values because every
+// randomized operation carries its seed in the item's data field.
+//
+// Items are immutable after construction; their hash is precomputed by
+// hashing the input items' hashes, the opcode, and the data items, so DAG
+// probing is cheap. Equality uses a non-recursive, queue-based comparison
+// with sub-DAG memoization and early aborts on hash mismatch, height
+// difference, and shared sub-DAGs (object identity), as described in §3.2.
+package lineage
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Item is one node of a lineage DAG.
+type Item struct {
+	id     uint64
+	opcode string
+	data   string
+	inputs []*Item
+	hash   uint64
+	height int
+}
+
+// nextID allocates distinct object identities for memoization and
+// serialization; it never affects hashing or equality.
+var nextID atomic.Uint64
+
+// NewLeaf returns a lineage item with no inputs, e.g. a literal, a read of a
+// persistent dataset, or a function argument binding.
+func NewLeaf(opcode, data string) *Item {
+	return NewItem(opcode, data)
+}
+
+// NewItem returns a lineage item for an operation with the given opcode,
+// serialized data items (scalar literals, seeds, dimensions), and inputs.
+func NewItem(opcode, data string, inputs ...*Item) *Item {
+	it := &Item{
+		id:     nextID.Add(1),
+		opcode: opcode,
+		data:   data,
+		inputs: inputs,
+	}
+	h := fnv.New64a()
+	h.Write([]byte(opcode))
+	h.Write([]byte{0})
+	h.Write([]byte(data))
+	var buf [8]byte
+	maxH := 0
+	for _, in := range inputs {
+		v := in.hash
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+		if in.height > maxH {
+			maxH = in.height
+		}
+	}
+	it.hash = h.Sum64()
+	it.height = maxH + 1
+	return it
+}
+
+// ID returns the item's unique object identity.
+func (it *Item) ID() uint64 { return it.id }
+
+// Opcode returns the operation code.
+func (it *Item) Opcode() string { return it.opcode }
+
+// Data returns the serialized data items (literals, seeds).
+func (it *Item) Data() string { return it.data }
+
+// Inputs returns the input items. The returned slice must not be modified.
+func (it *Item) Inputs() []*Item { return it.inputs }
+
+// Hash returns the precomputed DAG hash.
+func (it *Item) Hash() uint64 { return it.hash }
+
+// Height returns the height of the item's DAG (leaves have height 1).
+// The GPU eviction policy (Eq. 2) uses height to preserve input-data-pipeline
+// intermediates, which sit close to the inputs.
+func (it *Item) Height() int { return it.height }
+
+// pairKey identifies an (a, b) comparison for memoization.
+type pairKey struct{ a, b uint64 }
+
+// Equals reports whether two lineage DAGs are structurally identical. It is
+// non-recursive (explicit queue), memoizes compared sub-DAG pairs, and
+// aborts early on hash or height mismatches and on shared sub-DAGs.
+func (it *Item) Equals(other *Item) bool {
+	if it == other {
+		return true
+	}
+	if it == nil || other == nil {
+		return false
+	}
+	if it.hash != other.hash || it.height != other.height {
+		return false
+	}
+	seen := make(map[pairKey]struct{})
+	queue := [][2]*Item{{it, other}}
+	for len(queue) > 0 {
+		a, b := queue[0][0], queue[0][1]
+		queue = queue[1:]
+		if a == b {
+			continue // shared sub-DAG: object identity
+		}
+		key := pairKey{a.id, b.id}
+		if _, ok := seen[key]; ok {
+			continue // already compared
+		}
+		seen[key] = struct{}{}
+		if a.hash != b.hash || a.height != b.height ||
+			a.opcode != b.opcode || a.data != b.data ||
+			len(a.inputs) != len(b.inputs) {
+			return false
+		}
+		for i := range a.inputs {
+			queue = append(queue, [2]*Item{a.inputs[i], b.inputs[i]})
+		}
+	}
+	return true
+}
+
+// Size returns the number of distinct nodes in the DAG rooted at it.
+func (it *Item) Size() int {
+	seen := make(map[uint64]struct{})
+	stack := []*Item{it}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := seen[n.id]; ok {
+			continue
+		}
+		seen[n.id] = struct{}{}
+		stack = append(stack, n.inputs...)
+	}
+	return len(seen)
+}

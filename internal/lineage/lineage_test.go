@@ -1,0 +1,288 @@
+package lineage
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeafEquality(t *testing.T) {
+	a := NewLeaf("read", "X")
+	b := NewLeaf("read", "X")
+	c := NewLeaf("read", "Y")
+	if !a.Equals(b) {
+		t.Fatal("identical leaves must be equal")
+	}
+	if a.Equals(c) {
+		t.Fatal("leaves with different data must differ")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal items must have equal hashes")
+	}
+}
+
+func TestDagEquality(t *testing.T) {
+	build := func() *Item {
+		x := NewLeaf("read", "X")
+		y := NewLeaf("read", "y")
+		tx := NewItem("t", "", x)
+		return NewItem("ba*", "", tx, y)
+	}
+	if !build().Equals(build()) {
+		t.Fatal("structurally identical DAGs must be equal")
+	}
+}
+
+func TestDagInequalityByOpcode(t *testing.T) {
+	x := NewLeaf("read", "X")
+	a := NewItem("t", "", x)
+	b := NewItem("exp", "", x)
+	if a.Equals(b) {
+		t.Fatal("different opcodes must differ")
+	}
+}
+
+func TestDagInequalityByData(t *testing.T) {
+	x := NewLeaf("read", "X")
+	a := NewItem("dropout", "p=0.5,seed=1", x)
+	b := NewItem("dropout", "p=0.5,seed=2", x)
+	if a.Equals(b) {
+		t.Fatal("different seeds must produce different lineage")
+	}
+}
+
+func TestDagInequalityByStructure(t *testing.T) {
+	x := NewLeaf("read", "X")
+	y := NewLeaf("read", "Y")
+	a := NewItem("ba+*", "", x, y)
+	b := NewItem("ba+*", "", y, x)
+	if a.Equals(b) {
+		t.Fatal("operand order matters")
+	}
+}
+
+func TestEqualsNil(t *testing.T) {
+	var a *Item
+	b := NewLeaf("read", "X")
+	if a.Equals(b) || b.Equals(a) {
+		t.Fatal("nil comparisons must be false")
+	}
+	if !a.Equals(nil) {
+		t.Fatal("nil equals nil")
+	}
+}
+
+func TestSharedSubDagFastPath(t *testing.T) {
+	// Build a deep ladder sharing one instance, then compare an identical
+	// separate one: must still be equal (memoization correctness).
+	mk := func(shared *Item) *Item {
+		cur := shared
+		for i := 0; i < 100; i++ {
+			cur = NewItem("op", fmt.Sprint(i), cur, shared)
+		}
+		return cur
+	}
+	base := NewLeaf("read", "X")
+	a := mk(base)
+	b := mk(base)
+	if !a.Equals(b) {
+		t.Fatal("DAGs sharing sub-structures must compare equal")
+	}
+}
+
+func TestHeight(t *testing.T) {
+	x := NewLeaf("read", "X")
+	if x.Height() != 1 {
+		t.Fatalf("leaf height = %d, want 1", x.Height())
+	}
+	t1 := NewItem("t", "", x)
+	t2 := NewItem("t", "", t1)
+	if t2.Height() != 3 {
+		t.Fatalf("height = %d, want 3", t2.Height())
+	}
+}
+
+func TestSizeCountsDistinctNodes(t *testing.T) {
+	x := NewLeaf("read", "X")
+	tx := NewItem("t", "", x)
+	mm := NewItem("ba+*", "", tx, x) // shares x
+	if mm.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", mm.Size())
+	}
+}
+
+func TestMapTraceAndBind(t *testing.T) {
+	m := NewMap()
+	it := m.Trace("a", "rand", "rows=2,cols=2,seed=1")
+	if m.Get("a") != it {
+		t.Fatal("Trace did not bind output")
+	}
+	m.Trace("b", "t", "", "a")
+	if m.Get("b").Inputs()[0] != it {
+		t.Fatal("input lineage not linked")
+	}
+	m.Bind("c", "b")
+	if m.Get("c") != m.Get("b") {
+		t.Fatal("Bind must share the item")
+	}
+	m.Remove("c")
+	if m.Get("c") != nil {
+		t.Fatal("Remove failed")
+	}
+	if m.Traced() != 2 {
+		t.Fatalf("Traced = %d, want 2", m.Traced())
+	}
+}
+
+func TestMapUnknownInputBecomesLeaf(t *testing.T) {
+	m := NewMap()
+	it := m.Trace("out", "t", "", "X")
+	in := it.Inputs()[0]
+	if in.Opcode() != "read" || in.Data() != "X" {
+		t.Fatalf("unknown input should trace as read leaf, got %s %q", in.Opcode(), in.Data())
+	}
+	// Second use must reuse the same leaf (object identity for sharing).
+	it2 := m.Trace("out2", "exp", "", "X")
+	if it2.Inputs()[0] != in {
+		t.Fatal("repeated unknown input must share one leaf")
+	}
+}
+
+func TestMapSnapshotRestore(t *testing.T) {
+	m := NewMap()
+	m.Trace("a", "rand", "s=1")
+	snap := m.Snapshot()
+	m.Trace("b", "rand", "s=2")
+	m.Restore(snap)
+	if m.Get("b") != nil || m.Get("a") == nil {
+		t.Fatal("Restore did not reset bindings")
+	}
+}
+
+func TestTraceItemCompaction(t *testing.T) {
+	m := NewMap()
+	m.Trace("a", "rand", "s=1")
+	cachedKey := NewItem("rand", "s=1")
+	m.TraceItem("a", cachedKey)
+	if m.Get("a") != cachedKey {
+		t.Fatal("TraceItem must replace the binding with the cached key")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	x := NewLeaf("read", "X with spaces \"and quotes\"")
+	y := NewLeaf("read", "y")
+	tx := NewItem("t", "", x)
+	root := NewItem("ba+*", "k=3", tx, y)
+	log := Serialize(root)
+	back, err := Deserialize(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Equals(back) {
+		t.Fatalf("round-trip changed the DAG:\n%s", log)
+	}
+}
+
+func TestSerializeDeterministic(t *testing.T) {
+	mk := func() *Item {
+		x := NewLeaf("read", "X")
+		return NewItem("t", "", NewItem("exp", "", x))
+	}
+	if Serialize(mk()) != Serialize(mk()) {
+		t.Fatal("equal DAGs must serialize identically")
+	}
+}
+
+func TestSerializeSharedSubDagOnce(t *testing.T) {
+	x := NewLeaf("read", "X")
+	root := NewItem("ba+*", "", NewItem("t", "", x), x)
+	log := Serialize(root)
+	if n := strings.Count(log, "read"); n != 1 {
+		t.Fatalf("shared leaf serialized %d times, want 1\n%s", n, log)
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"0 op",
+		"abc op \"\" ",
+		"0 op \"\" 5", // forward/unknown reference
+	}
+	for _, c := range cases {
+		if _, err := Deserialize(c); err == nil {
+			t.Errorf("Deserialize(%q) should fail", c)
+		}
+	}
+}
+
+// Property: random DAGs round-trip through serialization preserving equality.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := []*Item{NewLeaf("read", "X"), NewLeaf("read", "Y")}
+		for i := 0; i < 3+rng.Intn(15); i++ {
+			nIn := 1 + rng.Intn(2)
+			ins := make([]*Item, nIn)
+			for j := range ins {
+				ins[j] = nodes[rng.Intn(len(nodes))]
+			}
+			nodes = append(nodes, NewItem(fmt.Sprintf("op%d", rng.Intn(4)), fmt.Sprint(rng.Intn(3)), ins...))
+		}
+		root := nodes[len(nodes)-1]
+		back, err := Deserialize(Serialize(root))
+		return err == nil && root.Equals(back) && back.Hash() == root.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal DAGs have equal hashes and heights (hash consistency).
+func TestHashConsistencyProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		build := func() *Item {
+			cur := NewLeaf("read", "X")
+			for _, op := range ops {
+				cur = NewItem(fmt.Sprintf("op%d", op%5), "", cur)
+			}
+			return cur
+		}
+		a, b := build(), build()
+		return a.Equals(b) && a.Hash() == b.Hash() && a.Height() == b.Height()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEqualsDeepChain(b *testing.B) {
+	mk := func() *Item {
+		cur := NewLeaf("read", "X")
+		for i := 0; i < 1000; i++ {
+			cur = NewItem("op", "", cur)
+		}
+		return cur
+	}
+	x, y := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !x.Equals(y) {
+			b.Fatal("must be equal")
+		}
+	}
+}
+
+func BenchmarkProbeHashMismatch(b *testing.B) {
+	x := NewItem("op", "1", NewLeaf("read", "X"))
+	y := NewItem("op", "2", NewLeaf("read", "X"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.Equals(y) {
+			b.Fatal("must differ")
+		}
+	}
+}

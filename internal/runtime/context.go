@@ -1,0 +1,270 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/gpu"
+	"memphis/internal/ir"
+	"memphis/internal/lineage"
+	"memphis/internal/spark"
+	"memphis/internal/vtime"
+)
+
+// ReuseMode selects the reuse framework emulated by the runtime, matching
+// the paper's baselines (§6.1).
+type ReuseMode int
+
+const (
+	// ReuseNone disables lineage tracing and reuse entirely (Base).
+	ReuseNone ReuseMode = iota
+	// ReuseTrace enables tracing without any reuse (the Trace config of
+	// Figure 11, isolating tracing overhead).
+	ReuseTrace
+	// ReuseLIMA enables eager fine-grained reuse of local CP operations
+	// only, like the LIMA framework.
+	ReuseLIMA
+	// ReuseHelix enables coarse-grained (function-level) reuse only, like
+	// HELIX-style pipeline-level materialization.
+	ReuseHelix
+	// ReuseMemphisFine is MEMPHIS with multi-level (function) reuse
+	// disabled: operator-at-a-time reuse across all backends (MPH-F).
+	ReuseMemphisFine
+	// ReuseMemphis is full MEMPHIS: fine-grained multi-backend reuse plus
+	// multi-level function reuse.
+	ReuseMemphis
+)
+
+func (m ReuseMode) String() string {
+	switch m {
+	case ReuseNone:
+		return "Base"
+	case ReuseTrace:
+		return "Trace"
+	case ReuseLIMA:
+		return "LIMA"
+	case ReuseHelix:
+		return "HELIX"
+	case ReuseMemphisFine:
+		return "MPH-F"
+	case ReuseMemphis:
+		return "MPH"
+	default:
+		return "?"
+	}
+}
+
+// Config assembles the runtime configuration.
+type Config struct {
+	Mode     ReuseMode
+	Compiler compiler.Config
+	Cache    core.Config
+
+	// CPAllowlist, when non-nil, restricts fine-grained CP caching to the
+	// listed opcodes (used to emulate application-specific frameworks such
+	// as CoorDL's input-pipeline-only reuse).
+	CPAllowlist map[string]bool
+
+	// FuncAllowlist, when non-nil, restricts function-level reuse to the
+	// named functions (e.g. Clipper's prediction-only caching).
+	FuncAllowlist map[string]bool
+
+	// Spark cluster and GPU sizing; zero values disable the backend.
+	Spark       spark.Config
+	GPUCapacity int64
+
+	// GPUPolicy selects the device allocator behaviour: the zero value is
+	// MEMPHIS's full Algorithm 1; gpu.PolicyPool emulates PyTorch's
+	// caching allocator; gpu.PolicyNone disables recycling (Base).
+	GPUPolicy gpu.Policy
+
+	// Model overrides the cost model (nil uses costs.Default). Baselines
+	// with different hardware assumptions (e.g. Base-P's parallel feature
+	// processing) install scaled models.
+	Model *costs.Model
+}
+
+// Stats counts runtime events.
+type Stats struct {
+	Instructions int64
+	CPInsts      int64
+	SPInsts      int64
+	GPUInsts     int64
+	Reused       int64
+	ActionReuses int64
+	FuncCalls    int64
+	FuncReuses   int64
+	Prefetches   int64
+	Broadcasts   int64
+	Checkpoints  int64
+	Evicts       int64
+	GPUFallbacks int64
+	Collects     int64
+	D2HFetches   int64
+}
+
+// Context is the execution context: symbol table, backends, lineage map,
+// cache, and configuration.
+type Context struct {
+	Clock *vtime.Clock
+	Model *costs.Model
+	SC    *spark.Context
+	GM    *gpu.Manager
+	Cache *core.Cache
+	LMap  *lineage.Map
+	Conf  Config
+
+	vars map[string]*Value
+	prog *ir.Program
+
+	// Current block header parameters (set per basic block).
+	delayFactor  int
+	storageLevel spark.StorageLevel
+
+	Stats Stats
+}
+
+// New creates a context with the configured backends on a fresh clock.
+func New(conf Config) *Context {
+	clock := vtime.New()
+	model := conf.Model
+	if model == nil {
+		model = costs.Default()
+	}
+	ctx := &Context{
+		Clock: clock,
+		Model: model,
+		LMap:  lineage.NewMap(),
+		Conf:  conf,
+		vars:  make(map[string]*Value),
+	}
+	if conf.Spark.NumExecutors > 0 {
+		ctx.SC = spark.NewContext(clock, model, conf.Spark)
+	}
+	if conf.GPUCapacity > 0 {
+		dev := gpu.NewDevice(clock, model, "gpu0", conf.GPUCapacity)
+		ctx.GM = gpu.NewManager(dev)
+		ctx.GM.Policy = conf.GPUPolicy
+	}
+	ctx.Cache = core.NewCache(clock, model, conf.Cache, ctx.SC, ctx.GM)
+	if ctx.GM != nil {
+		ctx.GM.SetHostEvictor(ctx.evictGPUToHost)
+	}
+	return ctx
+}
+
+// tracing reports whether lineage tracing is active.
+func (ctx *Context) tracing() bool { return ctx.Conf.Mode != ReuseNone }
+
+// fineGrainedReuse reports whether operator-at-a-time reuse is active for
+// the given backend.
+func (ctx *Context) fineGrainedReuse(b core.Backend) bool {
+	switch ctx.Conf.Mode {
+	case ReuseLIMA:
+		return b == core.BackendCP
+	case ReuseMemphis, ReuseMemphisFine:
+		return true
+	default:
+		return false
+	}
+}
+
+// multiLevelReuse reports whether function-level reuse is active.
+func (ctx *Context) multiLevelReuse(fn string) bool {
+	switch ctx.Conf.Mode {
+	case ReuseHelix, ReuseMemphis:
+		if ctx.Conf.FuncAllowlist != nil {
+			return ctx.Conf.FuncAllowlist[fn]
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Var returns a bound value or nil.
+func (ctx *Context) Var(name string) *Value { return ctx.vars[name] }
+
+// BindHost binds an input matrix to a variable (a persistent read: its
+// lineage is a leaf).
+func (ctx *Context) BindHost(name string, m *data.Matrix) {
+	ctx.setVar(name, NewHostValue(m))
+	if ctx.tracing() {
+		ctx.LMap.TraceItem(name, lineage.NewLeaf("read", name))
+	}
+}
+
+// BindRDD binds a distributed input.
+func (ctx *Context) BindRDD(name string, r *spark.RDD) {
+	ctx.setVar(name, NewRDDValue(r))
+	if ctx.tracing() {
+		ctx.LMap.TraceItem(name, lineage.NewLeaf("read", name))
+	}
+}
+
+// setVar rebinds a variable, managing GPU reference counts: the old
+// binding's device reference is released and the new binding retained.
+func (ctx *Context) setVar(name string, v *Value) {
+	if old, ok := ctx.vars[name]; ok && old != v && old.HasGPU() && ctx.GM != nil {
+		ctx.GM.Release(old.GPU)
+	}
+	ctx.vars[name] = v
+}
+
+// removeVar unbinds a variable, releasing GPU references.
+func (ctx *Context) removeVar(name string) {
+	if old, ok := ctx.vars[name]; ok {
+		if old.HasGPU() && ctx.GM != nil {
+			ctx.GM.Release(old.GPU)
+		}
+		delete(ctx.vars, name)
+	}
+	ctx.LMap.Remove(name)
+}
+
+// clearTemps removes block-local temporaries, returning their GPU pointers
+// to the free list (this is what makes mini-batch recycling effective).
+func (ctx *Context) clearTemps() {
+	for name := range ctx.vars {
+		if strings.HasPrefix(name, "_t") {
+			ctx.removeVar(name)
+		}
+	}
+}
+
+// shapes snapshots variable shapes for dynamic recompilation.
+func (ctx *Context) shapes() map[string]ir.Shape {
+	env := make(map[string]ir.Shape, len(ctx.vars))
+	for name, v := range ctx.vars {
+		env[name] = ir.Shape{Rows: v.Rows, Cols: v.Cols}
+	}
+	return env
+}
+
+// operand resolves an instruction operand to a value; literal operands
+// become scalar values.
+func (ctx *Context) operand(name string) (*Value, error) {
+	if compiler.IsLiteral(name) {
+		var f float64
+		if _, err := fmt.Sscanf(compiler.LiteralValue(name), "%g", &f); err != nil {
+			return nil, fmt.Errorf("runtime: bad literal %q: %v", name, err)
+		}
+		return NewScalar(f), nil
+	}
+	v, ok := ctx.vars[name]
+	if !ok {
+		return nil, fmt.Errorf("runtime: undefined variable %q", name)
+	}
+	return v, nil
+}
+
+// evictGPUToHost is the device-to-host eviction hook invoked by the GPU
+// memory manager when recycling cannot satisfy an allocation: live cached
+// (reference-count-zero entries are already in the free list, so this
+// concerns cached pointers still referenced) is rare; the simulator evicts
+// nothing and lets the caller fall back to CP execution.
+func (ctx *Context) evictGPUToHost(need int64) int64 { return 0 }

@@ -1,0 +1,401 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/lineage"
+	"memphis/internal/spark"
+	"memphis/internal/vtime"
+)
+
+// ensureHost returns the host copy of a value, waiting on pending prefetch
+// transfers, reusing cached Spark action results (bypassing the job, §4.1),
+// or collecting/copying from the owning backend.
+func (ctx *Context) ensureHost(v *Value) *data.Matrix {
+	if v.Pending != nil {
+		ctx.Clock.WaitChain(v.Pending)
+		v.Pending = nil
+	}
+	if v.M != nil {
+		return v.M
+	}
+	switch {
+	case v.RDD != nil:
+		// Spark action reuse: a previously collected result with the same
+		// lineage bypasses the whole job.
+		if v.Lin != nil && ctx.fineGrainedReuse(core.BackendSpark) {
+			key := collectKey(v.Lin)
+			if e, hit := ctx.Cache.Probe(key); hit {
+				ctx.Stats.ActionReuses++
+				v.M = ctx.Cache.Matrix(e)
+				return v.M
+			}
+			ctx.Stats.Collects++
+			v.M = ctx.SC.Collect(v.RDD)
+			cost := costs.Transfer(v.SizeBytes(), ctx.Model.CollectBW, 0) +
+				ctx.Model.SparkJobOverhead
+			ctx.Cache.PutCP(key, v.M, cost, ctx.delay(), true, false)
+			return v.M
+		}
+		ctx.Stats.Collects++
+		v.M = ctx.SC.Collect(v.RDD)
+		return v.M
+	case v.HasGPU():
+		if v.Lin != nil && ctx.fineGrainedReuse(core.BackendGPU) {
+			key := d2hKey(v.Lin)
+			if e, hit := ctx.Cache.Probe(key); hit {
+				ctx.Stats.ActionReuses++
+				v.M = ctx.Cache.Matrix(e)
+				return v.M
+			}
+			ctx.Stats.D2HFetches++
+			v.M = ctx.GM.Device().D2H(v.GPU)
+			cost := costs.Transfer(v.SizeBytes(), ctx.Model.D2HBW, ctx.Model.CopyLatency)
+			ctx.Cache.PutCP(key, v.M, cost, ctx.delay(), true, false)
+			return v.M
+		}
+		ctx.Stats.D2HFetches++
+		v.M = ctx.GM.Device().D2H(v.GPU)
+		return v.M
+	}
+	panic("runtime: value has no backend copy")
+}
+
+// collectKey derives the lineage key of a collected (driver-side) copy of a
+// distributed value.
+func collectKey(li *lineage.Item) *lineage.Item {
+	return lineage.NewItem("collect", "", li)
+}
+
+// d2hKey derives the lineage key of the host copy of a device value.
+func d2hKey(li *lineage.Item) *lineage.Item {
+	return lineage.NewItem("d2h", "", li)
+}
+
+// ensureRDD returns the distributed form of a value, parallelizing a host
+// matrix on demand.
+func (ctx *Context) ensureRDD(v *Value, name string) *spark.RDD {
+	if v.RDD != nil {
+		return v.RDD
+	}
+	m := ctx.ensureHost(v)
+	v.RDD = ctx.SC.Parallelize(m, ctx.Conf.Spark.NumExecutors, name)
+	return v.RDD
+}
+
+// ensureBcast returns a live broadcast handle for a value, creating one
+// synchronously if the compiler did not place an async broadcast (§5.1).
+func (ctx *Context) ensureBcast(v *Value) *spark.Broadcast {
+	if v.Bcast != nil && !v.Bcast.Destroyed() {
+		return v.Bcast
+	}
+	v.Bcast = ctx.SC.NewBroadcast(ctx.ensureHost(v), false)
+	return v.Bcast
+}
+
+// ensureGPU returns the device copy of a value, uploading through the
+// memory manager (so recycled pointers are reused for transfers too).
+func (ctx *Context) ensureGPU(v *Value, height int) (*Value, error) {
+	if v.HasGPU() {
+		return v, nil
+	}
+	m := ctx.ensureHost(v)
+	p, err := ctx.GM.Allocate(m.SizeBytes(), height, 0)
+	if err != nil {
+		return nil, err
+	}
+	ctx.GM.Device().CopyIn(p, m)
+	v.GPU = p
+	return v, nil
+}
+
+// cacheable reports whether the instruction's output is subject to
+// fine-grained reuse.
+func cacheable(inst *compiler.Instruction) bool {
+	switch inst.Op {
+	case "assign", "chkpoint", "call", "nrow", "ncol":
+		return false
+	}
+	return true
+}
+
+// lineageData serializes the instruction's attributes and literal operands
+// into the lineage item's data field, so seeds and parameters distinguish
+// otherwise identical operations.
+func lineageData(inst *compiler.Instruction) string {
+	var parts []string
+	if len(inst.Attrs) > 0 {
+		keys := make([]string, 0, len(inst.Attrs))
+		for k := range inst.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			parts = append(parts, k+"="+inst.Attrs[k])
+		}
+	}
+	for i, in := range inst.Inputs {
+		if compiler.IsLiteral(in) {
+			parts = append(parts, fmt.Sprintf("in%d=%s", i, compiler.LiteralValue(in)))
+		}
+	}
+	return strings.Join(parts, ";")
+}
+
+// trace records the instruction in the lineage map (TRACE of the unified
+// API) and returns the new item.
+func (ctx *Context) trace(inst *compiler.Instruction) *lineage.Item {
+	ctx.Clock.Advance(ctx.Model.Trace)
+	var inputs []string
+	for _, in := range inst.Inputs {
+		if !compiler.IsLiteral(in) {
+			inputs = append(inputs, in)
+		}
+	}
+	return ctx.LMap.Trace(inst.Output(), inst.Op, lineageData(inst), inputs...)
+}
+
+// delay returns the active delayed-caching factor (block header, §5.2).
+// Only full MEMPHIS applies delays; other modes cache eagerly like LIMA.
+func (ctx *Context) delay() int {
+	if ctx.Conf.Mode != ReuseMemphis && ctx.Conf.Mode != ReuseMemphisFine {
+		return 1
+	}
+	if ctx.delayFactor <= 0 {
+		return 1
+	}
+	return ctx.delayFactor
+}
+
+// Execute runs one instruction through the Figure-4 path: interpret, trace,
+// probe/reuse, execute, put.
+func (ctx *Context) Execute(inst *compiler.Instruction) error {
+	switch inst.Kind {
+	case compiler.KindPrefetch:
+		return ctx.execPrefetch(inst)
+	case compiler.KindBroadcast:
+		return ctx.execBroadcast(inst)
+	case compiler.KindEvict:
+		return ctx.execEvict(inst)
+	case compiler.KindCheckpoint:
+		return ctx.execCheckpoint(inst)
+	}
+	switch inst.Op {
+	case "call":
+		return ctx.execCall(inst)
+	case "assign":
+		return ctx.execAssign(inst)
+	case "chkpoint":
+		return ctx.execCheckpoint(inst)
+	}
+	ctx.Stats.Instructions++
+	ctx.Clock.Advance(ctx.Model.Interpret)
+	var li *lineage.Item
+	if ctx.tracing() {
+		li = ctx.trace(inst)
+	}
+	wantReuse := li != nil && cacheable(inst) && ctx.fineGrainedReuse(inst.Backend) &&
+		(ctx.Conf.CPAllowlist == nil || inst.Backend != core.BackendCP || ctx.Conf.CPAllowlist[inst.Op])
+	if wantReuse {
+		if e, hit := ctx.Cache.Probe(li); hit {
+			if v := ctx.valueFromEntry(e); v != nil {
+				v.Lin = e.Key
+				ctx.setVar(inst.Output(), v)
+				// Compaction: rebind the map to the cached key so future
+				// DAGs share sub-DAGs by identity (Figure 5).
+				ctx.LMap.TraceItem(inst.Output(), e.Key)
+				ctx.Stats.Reused++
+				return nil
+			}
+		}
+	}
+	v, err := ctx.execOp(inst)
+	if err != nil {
+		return fmt.Errorf("runtime: %s: %w", inst, err)
+	}
+	v.Lin = li
+	ctx.setVar(inst.Output(), v)
+	if wantReuse {
+		ctx.putValue(inst, li, v)
+	}
+	return nil
+}
+
+// valueFromEntry materializes a Value from a cache entry, performing the
+// backend-side reuse bookkeeping. Returns nil when the entry is no longer
+// usable (e.g. a recycled GPU pointer).
+func (ctx *Context) valueFromEntry(e *core.Entry) *Value {
+	switch e.Backend {
+	case core.BackendCP:
+		m := ctx.Cache.Matrix(e)
+		return NewHostValue(m)
+	case core.BackendSpark:
+		ctx.Cache.OnRDDReuse(e)
+		return NewRDDValue(e.RDD)
+	case core.BackendGPU:
+		if !ctx.Cache.ReuseGPU(e) {
+			return nil
+		}
+		rows, cols := gpuDims(e)
+		return NewGPUValue(e.GPUPtr, rows, cols)
+	}
+	return nil
+}
+
+// gpuDims recovers matrix dimensions of a cached device value.
+func gpuDims(e *core.Entry) (int, int) {
+	if v := e.GPUPtr.Value(); v != nil {
+		return v.Rows, v.Cols
+	}
+	return 1, int(e.Size / 8)
+}
+
+// putValue stores a freshly computed value (PUT of the unified API).
+func (ctx *Context) putValue(inst *compiler.Instruction, li *lineage.Item, v *Value) {
+	switch {
+	case v.RDD != nil && v.M == nil:
+		cost := costs.Compute(inst.Flops, ctx.Model.SparkFlops) + ctx.Model.SparkJobOverhead
+		ctx.Cache.PutRDD(li, v.RDD, v.children, v.bcasts, cost, ctx.delay(), ctx.storageLevel)
+	case v.HasGPU() && v.M == nil:
+		cost := costs.Compute(inst.Flops, ctx.Model.GPUFlops)
+		ctx.Cache.PutGPU(li, v.GPU, cost, ctx.delay())
+	case v.M != nil:
+		cost := costs.Compute(inst.Flops, ctx.Model.CPUFlops)
+		ctx.Cache.PutCP(li, v.M, cost, ctx.delay(), false, false)
+	}
+}
+
+// execAssign copies a binding (variable-to-variable assignment).
+func (ctx *Context) execAssign(inst *compiler.Instruction) error {
+	v, err := ctx.operand(inst.Inputs[0])
+	if err != nil {
+		return err
+	}
+	if v.HasGPU() && ctx.GM != nil {
+		ctx.GM.Retain(v.GPU)
+	}
+	ctx.setVar(inst.Output(), v)
+	if ctx.tracing() && !compiler.IsLiteral(inst.Inputs[0]) {
+		ctx.LMap.Bind(inst.Output(), inst.Inputs[0])
+	}
+	return nil
+}
+
+// execPrefetch triggers the remote job or device copy asynchronously and
+// records the future on the value; results are cached once fetched so
+// subsequent iterations reuse them (§5.1).
+func (ctx *Context) execPrefetch(inst *compiler.Instruction) error {
+	ctx.Stats.Prefetches++
+	v, err := ctx.operand(inst.Inputs[0])
+	if err != nil {
+		return err
+	}
+	if v.M != nil || v.Pending != nil {
+		return nil // already local or in flight
+	}
+	switch {
+	case v.RDD != nil && ctx.SC != nil:
+		// A previously collected result with this lineage bypasses the
+		// job entirely (Spark action reuse, §4.1).
+		if v.Lin != nil && ctx.fineGrainedReuse(core.BackendSpark) {
+			if e, hit := ctx.Cache.Probe(collectKey(v.Lin)); hit {
+				ctx.Stats.ActionReuses++
+				v.M = ctx.Cache.Matrix(e)
+				return nil
+			}
+		}
+		val, chain := ctx.SC.CollectAsync(v.RDD)
+		v.M = val
+		v.Pending = chain
+		if v.Lin != nil && ctx.fineGrainedReuse(core.BackendSpark) {
+			cost := costs.Transfer(val.SizeBytes(), ctx.Model.CollectBW, 0) +
+				ctx.Model.SparkJobOverhead
+			ctx.Cache.PutCP(collectKey(v.Lin), val, cost, ctx.delay(), true, false)
+		}
+	case v.HasGPU() && ctx.GM != nil:
+		if v.Lin != nil && ctx.fineGrainedReuse(core.BackendGPU) {
+			if e, hit := ctx.Cache.Probe(d2hKey(v.Lin)); hit {
+				ctx.Stats.ActionReuses++
+				v.M = ctx.Cache.Matrix(e)
+				return nil
+			}
+		}
+		val, f := ctx.GM.Device().D2HAsync(v.GPU)
+		v.M = val
+		v.Pending = &vtime.FutureChain{Job: f}
+		if v.Lin != nil && ctx.fineGrainedReuse(core.BackendGPU) {
+			cost := costs.Transfer(val.SizeBytes(), ctx.Model.D2HBW, ctx.Model.CopyLatency)
+			ctx.Cache.PutCP(d2hKey(v.Lin), val, cost, ctx.delay(), true, false)
+		}
+	}
+	return nil
+}
+
+// execBroadcast registers the value as an asynchronous broadcast variable.
+func (ctx *Context) execBroadcast(inst *compiler.Instruction) error {
+	if ctx.SC == nil {
+		return nil
+	}
+	ctx.Stats.Broadcasts++
+	v, err := ctx.operand(inst.Inputs[0])
+	if err != nil {
+		return err
+	}
+	if v.M != nil && (v.Bcast == nil || v.Bcast.Destroyed()) {
+		v.Bcast = ctx.SC.NewBroadcast(v.M, true)
+	}
+	return nil
+}
+
+// execEvict forwards the eviction-injection instruction to the GPU cache.
+func (ctx *Context) execEvict(inst *compiler.Instruction) error {
+	ctx.Stats.Evicts++
+	v, err := ctx.operand(inst.Inputs[0])
+	if err != nil {
+		return err
+	}
+	ctx.Cache.EvictGPUPercent(ctx.ensureHost(v).ScalarValue())
+	return nil
+}
+
+// execCheckpoint persists an RDD-backed variable at the block's storage
+// level and registers it with the cache so eviction tracks it (§5.2). It is
+// lineage-transparent and a no-op for local values.
+func (ctx *Context) execCheckpoint(inst *compiler.Instruction) error {
+	v, err := ctx.operand(inst.Inputs[0])
+	if err != nil {
+		return nil // variable out of scope: checkpoint is a no-op
+	}
+	ctx.setVar(inst.Output(), v)
+	// Checkpoints are lineage-transparent: the output carries the input's
+	// lineage unchanged (the linearizer may route it through a temporary).
+	if ctx.tracing() && !compiler.IsLiteral(inst.Inputs[0]) {
+		ctx.LMap.Bind(inst.Output(), inst.Inputs[0])
+	}
+	if v.RDD == nil || v.M != nil {
+		return nil
+	}
+	ctx.Stats.Checkpoints++
+	level := ctx.storageLevel
+	if level == spark.StorageNone {
+		level = spark.StorageMemoryAndDisk
+	}
+	v.RDD.Persist(level)
+	if ctx.tracing() && v.Lin != nil && ctx.fineGrainedReuse(core.BackendSpark) {
+		cost := costs.Transfer(v.SizeBytes(), ctx.Model.SparkExchangeBW, 0) +
+			ctx.Model.SparkJobOverhead
+		ctx.Cache.PutRDD(v.Lin, v.RDD, v.children, v.bcasts, cost, 1, level)
+	}
+	return nil
+}
+
+// EnsureHostValue is the exported host-fetch used by the public facade and
+// tests: it waits on pending transfers and collects/copies from the owning
+// backend, going through the Spark-action/D2H reuse path.
+func (ctx *Context) EnsureHostValue(v *Value) *data.Matrix { return ctx.ensureHost(v) }

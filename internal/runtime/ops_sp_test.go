@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+
+	"memphis/internal/data"
+	"memphis/internal/ir"
+)
+
+// runSPOp executes a single-op program twice — once with everything local
+// and once with a tiny operation memory that forces Spark placement — and
+// checks the results match. This covers every distributed physical
+// operator in ops_sp.go against its local ground truth.
+func runSPOp(t *testing.T, build func(x *ir.Node) *ir.Node, m *data.Matrix) {
+	t.Helper()
+	results := make([]*data.Matrix, 2)
+	for i, opMem := range []int64{1 << 30, 1 << 10} {
+		conf := testConfig(ReuseNone)
+		conf.Compiler.OpMemBudget = opMem
+		ctx := New(conf)
+		ctx.BindHost("X", m)
+		p := ir.NewProgram()
+		p.Main = []ir.Block{ir.BB(ir.Assign("out", build(ir.Var("X"))))}
+		if err := ctx.RunProgram(p); err != nil {
+			t.Fatalf("opMem=%d: %v", opMem, err)
+		}
+		if i == 1 && ctx.Stats.SPInsts == 0 {
+			t.Fatalf("small budget did not produce Spark instructions")
+		}
+		results[i] = ctx.ensureHost(ctx.Var("out"))
+	}
+	if !data.AllClose(results[0], results[1], 1e-8) {
+		t.Fatalf("distributed result differs from local:\n local %v\n spark %v",
+			results[0], results[1])
+	}
+}
+
+func TestSPOperatorsMatchLocal(t *testing.T) {
+	x := data.RandNorm(60, 6, 2, 1, 31)
+	cases := map[string]func(x *ir.Node) *ir.Node{
+		"tsmm":     func(x *ir.Node) *ir.Node { return ir.TSMM(x) },
+		"exp":      ir.Exp,
+		"relu":     ir.ReLU,
+		"sigmoid":  ir.Sigmoid,
+		"abs":      ir.Abs,
+		"sqrt":     func(x *ir.Node) *ir.Node { return ir.Sqrt(ir.Abs(x)) },
+		"pow":      func(x *ir.Node) *ir.Node { return ir.Pow(x, 2) },
+		"rowSums":  ir.RowSums,
+		"colSums":  ir.ColSums,
+		"colMeans": ir.ColMeans,
+		"colVars":  ir.ColVars,
+		"colMins":  ir.ColMins,
+		"colMaxs":  ir.ColMaxs,
+		"sum":      ir.Sum,
+		"mean":     ir.Mean,
+		"scale":    ir.Scale,
+		"minmax":   ir.MinMax,
+		"add-scalar": func(x *ir.Node) *ir.Node {
+			return ir.Add(x, ir.Lit(3))
+		},
+		"mul-self": func(x *ir.Node) *ir.Node {
+			return ir.Mul(x, x)
+		},
+		"sub-colvec": func(x *ir.Node) *ir.Node {
+			return ir.Sub(x, ir.ColMeans(x))
+		},
+		"cpmm": func(x *ir.Node) *ir.Node {
+			return ir.MatMul(ir.T(ir.Mul(x, ir.Lit(2))), ir.Add(x, ir.Lit(1)))
+		},
+		"mapmm": func(x *ir.Node) *ir.Node {
+			return ir.MatMul(x, ir.TSMM(x))
+		},
+	}
+	for name, build := range cases {
+		build := build
+		t.Run(name, func(t *testing.T) { runSPOp(t, build, x) })
+	}
+}
+
+func TestSPImputeMeanMatchesLocal(t *testing.T) {
+	x := data.RandNorm(60, 6, 2, 1, 33)
+	x.Set(5, 2, math.NaN())
+	x.Set(17, 0, math.NaN())
+	runSPOp(t, func(x *ir.Node) *ir.Node { return ir.ImputeMean(x) }, x)
+}
+
+func TestSPVecMM(t *testing.T) {
+	// v^T X with a row vector left operand exercises the VecMM path.
+	conf := testConfig(ReuseNone)
+	conf.Compiler.OpMemBudget = 1 << 10
+	ctx := New(conf)
+	x := data.RandNorm(60, 6, 0, 1, 35)
+	y := data.RandNorm(60, 1, 0, 1, 36)
+	ctx.BindHost("X", x)
+	ctx.BindHost("y", y)
+	p := ir.NewProgram()
+	p.Main = []ir.Block{ir.BB(ir.Assign("b", ir.MatMul(ir.T(ir.Var("y")), ir.Var("X"))))}
+	if err := ctx.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	want := data.MatMul(data.Transpose(y), x)
+	if !data.AllClose(ctx.ensureHost(ctx.Var("b")), want, 1e-9) {
+		t.Fatal("VecMM wrong")
+	}
+}
+
+func TestSPLeftMM(t *testing.T) {
+	// A small multi-row left operand against a distributed right exercises
+	// the LeftMM broadcast path (PNMF's t(W) Q).
+	conf := testConfig(ReuseNone)
+	conf.Compiler.OpMemBudget = 2 << 10
+	ctx := New(conf)
+	a := data.RandNorm(4, 60, 0, 1, 37) // small, host
+	x := data.RandNorm(60, 8, 0, 1, 38) // forced distributed
+	ctx.BindHost("A", a)
+	ctx.BindHost("X", x)
+	p := ir.NewProgram()
+	p.Main = []ir.Block{ir.BB(ir.Assign("out", ir.MatMul(ir.Var("A"), ir.Var("X"))))}
+	if err := ctx.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.SPInsts == 0 {
+		t.Fatal("expected Spark placement")
+	}
+	if !data.AllClose(ctx.ensureHost(ctx.Var("out")), data.MatMul(a, x), 1e-9) {
+		t.Fatal("LeftMM wrong")
+	}
+}
+
+func TestSPElementwiseZipSameParts(t *testing.T) {
+	conf := testConfig(ReuseNone)
+	conf.Compiler.OpMemBudget = 1 << 10
+	ctx := New(conf)
+	a := data.RandNorm(60, 6, 0, 1, 39)
+	ctx.BindHost("A", a)
+	p := ir.NewProgram()
+	// Two co-partitioned distributed operands -> zip path.
+	p.Main = []ir.Block{ir.BB(
+		ir.Assign("e", ir.Exp(ir.Var("A"))),
+		ir.Assign("r", ir.ReLU(ir.Var("A"))),
+		ir.Assign("out", ir.Div(ir.Var("e"), ir.Add(ir.Var("r"), ir.Lit(1)))),
+	)}
+	if err := ctx.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	want := data.Div(data.Exp(a), data.AddScalar(data.ReLU(a), 1))
+	if !data.AllClose(ctx.ensureHost(ctx.Var("out")), want, 1e-9) {
+		t.Fatal("zip elementwise wrong")
+	}
+}

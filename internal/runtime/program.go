@@ -1,0 +1,268 @@
+package runtime
+
+import (
+	"fmt"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/ir"
+	"memphis/internal/lineage"
+	"memphis/internal/spark"
+)
+
+// RunProgram interprets a program: every basic block is dynamically
+// recompiled against the current variable sizes, then executed instruction
+// by instruction through the reuse path.
+func (ctx *Context) RunProgram(p *ir.Program) error {
+	ctx.prog = p
+	return ctx.runBlocks(p.Main)
+}
+
+func (ctx *Context) runBlocks(blocks []ir.Block) error {
+	for _, b := range blocks {
+		switch t := b.(type) {
+		case *ir.BasicBlock:
+			if err := ctx.runBasicBlock(t); err != nil {
+				return err
+			}
+		case *ir.ForBlock:
+			for _, val := range t.Values {
+				ctx.bindLoopVar(t.Var, val)
+				if err := ctx.runBlocks(t.Body); err != nil {
+					return err
+				}
+			}
+		case *ir.WhileBlock:
+			maxIter := t.MaxIter
+			if maxIter <= 0 {
+				maxIter = 1000
+			}
+			for it := 0; it < maxIter; it++ {
+				c, err := ctx.evalScalar(t.Cond)
+				if err != nil {
+					return err
+				}
+				if c == 0 {
+					break
+				}
+				if err := ctx.runBlocks(t.Body); err != nil {
+					return err
+				}
+			}
+		case *ir.IfBlock:
+			c, err := ctx.evalScalar(t.Cond)
+			if err != nil {
+				return err
+			}
+			if c != 0 {
+				if err := ctx.runBlocks(t.Then); err != nil {
+					return err
+				}
+			} else if err := ctx.runBlocks(t.Else); err != nil {
+				return err
+			}
+		case *ir.EvictBlock:
+			ctx.Stats.Evicts++
+			ctx.Cache.EvictGPUPercent(t.Fraction)
+		default:
+			return fmt.Errorf("runtime: unknown block type %T", b)
+		}
+	}
+	return nil
+}
+
+// runBasicBlock recompiles and executes one basic block, applying the
+// block-header reuse parameters (§5.2) and clearing temporaries afterwards.
+func (ctx *Context) runBasicBlock(bb *ir.BasicBlock) error {
+	insts := compiler.CompileBlock(bb, ctx.shapes(), ctx.Conf.Compiler)
+	prevDelay, prevLevel := ctx.delayFactor, ctx.storageLevel
+	ctx.delayFactor = bb.DelayFactor
+	switch bb.StorageLevel {
+	case "MEMORY":
+		ctx.storageLevel = spark.StorageMemory
+	case "MEMORY_AND_DISK":
+		ctx.storageLevel = spark.StorageMemoryAndDisk
+	default:
+		ctx.storageLevel = spark.StorageMemory
+	}
+	var err error
+	for i := range insts {
+		if err = ctx.Execute(&insts[i]); err != nil {
+			break
+		}
+	}
+	ctx.clearTemps()
+	ctx.delayFactor, ctx.storageLevel = prevDelay, prevLevel
+	return err
+}
+
+// bindLoopVar binds the loop variable as a literal scalar: its lineage is a
+// value-carrying leaf, so loop-dependent operations have iteration-specific
+// lineage (not reusable) while loop-independent ones reuse across
+// iterations.
+func (ctx *Context) bindLoopVar(name string, val float64) {
+	ctx.setVar(name, NewScalar(val))
+	if ctx.tracing() {
+		ctx.LMap.TraceItem(name, lineage.NewLeaf("lit", fmt.Sprint(val)))
+	}
+}
+
+// evalScalar evaluates a scalar condition expression.
+func (ctx *Context) evalScalar(cond *ir.Node) (float64, error) {
+	bb := ir.BB(ir.Assign("_cond", cond))
+	if err := ctx.runBasicBlock(bb); err != nil {
+		return 0, err
+	}
+	v := ctx.vars["_cond"]
+	if v == nil {
+		return 0, fmt.Errorf("runtime: condition produced no value")
+	}
+	res := ctx.ensureHost(v).ScalarValue()
+	ctx.removeVar("_cond")
+	return res, nil
+}
+
+// execCall invokes a function with multi-level (function output) reuse:
+// outputs of deterministic functions called with identical inputs are
+// reused as a whole, even across backends (§3.3).
+func (ctx *Context) execCall(inst *compiler.Instruction) error {
+	ctx.Stats.FuncCalls++
+	fnName := inst.Attr("fn")
+	fn := ctx.prog.Funcs[fnName]
+	if fn == nil {
+		return fmt.Errorf("runtime: undefined function %q", fnName)
+	}
+	if len(inst.Inputs) != len(fn.Params) {
+		return fmt.Errorf("runtime: %s expects %d args, got %d", fnName, len(fn.Params), len(inst.Inputs))
+	}
+	if len(inst.Outputs) != len(fn.Returns) {
+		return fmt.Errorf("runtime: %s returns %d values, got %d targets", fnName, len(fn.Returns), len(inst.Outputs))
+	}
+	args := make([]*Value, len(inst.Inputs))
+	argLis := make([]*lineage.Item, len(inst.Inputs))
+	for i, in := range inst.Inputs {
+		v, err := ctx.operand(in)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+		if ctx.tracing() {
+			if compiler.IsLiteral(in) {
+				argLis[i] = lineage.NewLeaf("lit", compiler.LiteralValue(in))
+			} else {
+				argLis[i] = ctx.LMap.GetOrLeaf(in)
+			}
+		}
+	}
+	multiLevel := ctx.tracing() && fn.Deterministic && ctx.multiLevelReuse(fnName)
+	var outKeys []*lineage.Item
+	if multiLevel {
+		outKeys = make([]*lineage.Item, len(fn.Returns))
+		for i, ret := range fn.Returns {
+			outKeys[i] = lineage.NewItem("fnout", fnName+"#"+ret, argLis...)
+		}
+		// Probe all outputs; reuse only if the whole call is covered.
+		vals := make([]*Value, len(outKeys))
+		allHit := true
+		for i, key := range outKeys {
+			e, hit := ctx.Cache.Probe(key)
+			if !hit {
+				allHit = false
+				break
+			}
+			v := ctx.valueFromEntry(e)
+			if v == nil {
+				allHit = false
+				break
+			}
+			vals[i] = v
+		}
+		if allHit {
+			ctx.Stats.FuncReuses++
+			for i, key := range outKeys {
+				// Bind the fine-grained alias lineage when recorded so
+				// downstream operations key consistently across hit and
+				// miss paths, and the value stays recomputable.
+				lin := key
+				if e := ctx.Cache.Lookup(key); e != nil && e.Alias != nil {
+					lin = e.Alias
+				}
+				vals[i].Lin = lin
+				ctx.setVar(inst.Outputs[i], vals[i])
+				ctx.LMap.TraceItem(inst.Outputs[i], lin)
+			}
+			return nil
+		}
+	}
+	// Execute the body in a fresh scope.
+	start := ctx.Clock.Now()
+	savedVars := ctx.vars
+	savedLMap := ctx.LMap.Snapshot()
+	ctx.vars = make(map[string]*Value, len(fn.Params))
+	for i, p := range fn.Params {
+		if args[i].HasGPU() && ctx.GM != nil {
+			ctx.GM.Retain(args[i].GPU)
+		}
+		ctx.vars[p] = args[i]
+		if ctx.tracing() {
+			ctx.LMap.TraceItem(p, argLis[i])
+		}
+	}
+	runErr := ctx.runBlocks(fn.Body)
+	outs := make([]*Value, len(fn.Returns))
+	outLis := make([]*lineage.Item, len(fn.Returns))
+	if runErr == nil {
+		for i, ret := range fn.Returns {
+			outs[i] = ctx.vars[ret]
+			if outs[i] == nil {
+				runErr = fmt.Errorf("runtime: %s did not assign return %q", fnName, ret)
+				break
+			}
+			outLis[i] = ctx.LMap.Get(ret)
+			if outs[i].HasGPU() && ctx.GM != nil {
+				ctx.GM.Retain(outs[i].GPU) // caller's reference
+			}
+		}
+	}
+	// Tear down the function scope.
+	for name := range ctx.vars {
+		if v := ctx.vars[name]; v.HasGPU() && ctx.GM != nil {
+			ctx.GM.Release(v.GPU)
+		}
+	}
+	ctx.vars = savedVars
+	ctx.LMap.Restore(savedLMap)
+	if runErr != nil {
+		return runErr
+	}
+	elapsed := ctx.Clock.Now() - start
+	for i, target := range inst.Outputs {
+		lin := outLis[i]
+		if lin == nil && multiLevel {
+			lin = outKeys[i]
+		}
+		outs[i].Lin = lin
+		ctx.setVar(target, outs[i])
+		if ctx.tracing() && lin != nil {
+			ctx.LMap.TraceItem(target, lin)
+		}
+	}
+	if multiLevel {
+		cost := elapsed / float64(len(outs))
+		for i, v := range outs {
+			var e *core.Entry
+			switch {
+			case v.RDD != nil && v.M == nil:
+				e = ctx.Cache.PutRDD(outKeys[i], v.RDD, v.children, v.bcasts, cost, 1, ctx.storageLevel)
+			case v.M != nil:
+				e = ctx.Cache.PutCP(outKeys[i], v.M, cost, 1, false, true)
+			case v.HasGPU():
+				e = ctx.Cache.PutGPU(outKeys[i], v.GPU, cost, 1)
+			}
+			if e != nil {
+				e.Alias = outLis[i]
+			}
+		}
+	}
+	return nil
+}

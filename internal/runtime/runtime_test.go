@@ -1,0 +1,445 @@
+package runtime
+
+import (
+	"testing"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/data"
+	"memphis/internal/ir"
+	"memphis/internal/spark"
+)
+
+// testConfig returns a full multi-backend configuration.
+func testConfig(mode ReuseMode) Config {
+	comp := compiler.DefaultConfig()
+	comp.OpMemBudget = 64 << 10 // 64KB
+	cache := core.DefaultConfig()
+	return Config{
+		Mode:        mode,
+		Compiler:    comp,
+		Cache:       cache,
+		Spark:       spark.DefaultConfig(),
+		GPUCapacity: 8 << 20,
+	}
+}
+
+// linRegProgram builds the Example 4.1 grid-search program: linRegDS called
+// for a list of regularization values over a (possibly distributed) X.
+func linRegProgram(regs []float64) *ir.Program {
+	p := ir.NewProgram()
+	p.Define(&ir.Function{
+		Name:          "linRegDS",
+		Params:        []string{"X", "y", "reg", "ones"},
+		Returns:       []string{"beta"},
+		Deterministic: true,
+		Body: []ir.Block{ir.BB(
+			ir.Assign("A", ir.TSMM(ir.Var("X"))),
+			ir.Assign("b", ir.MatMul(ir.T(ir.Var("y")), ir.Var("X"))),
+			ir.Assign("Ar", ir.Add(ir.Var("A"), ir.Mul(ir.Diag(ir.Var("ones")), ir.Var("reg")))),
+			ir.Assign("beta", ir.Solve(ir.Var("Ar"), ir.T(ir.Var("b")))),
+		)},
+	})
+	p.Main = []ir.Block{
+		ir.For("reg", regs,
+			ir.BB(ir.Call("linRegDS", []string{"beta"},
+				ir.Var("X"), ir.Var("y"), ir.Var("reg"), ir.Var("ones"))),
+		),
+	}
+	return p
+}
+
+func bindLinRegInputs(ctx *Context, rows, cols int) (*data.Matrix, *data.Matrix) {
+	x := data.RandNorm(rows, cols, 0, 1, 1)
+	y := data.RandNorm(rows, 1, 0, 1, 2)
+	ctx.BindHost("X", x)
+	ctx.BindHost("y", y)
+	ctx.BindHost("ones", data.Ones(cols, 1))
+	return x, y
+}
+
+// referenceBeta computes the closed-form solution locally.
+func referenceBeta(x, y *data.Matrix, reg float64) *data.Matrix {
+	a := data.Add(data.TSMM(x), data.MulScalar(data.Identity(x.Cols), reg))
+	b := data.MatMul(data.Transpose(x), y)
+	return data.Solve(a, b)
+}
+
+func TestSimpleCPExecution(t *testing.T) {
+	ctx := New(testConfig(ReuseNone))
+	ctx.BindHost("a", data.FromSlice(2, 2, []float64{1, 2, 3, 4}))
+	prog := ir.NewProgram()
+	prog.Main = []ir.Block{ir.BB(
+		ir.Assign("b", ir.Add(ir.Var("a"), ir.Lit(1))),
+		ir.Assign("c", ir.Sum(ir.Var("b"))),
+	)}
+	if err := ctx.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.ensureHost(ctx.Var("c")).ScalarValue(); got != 14 {
+		t.Fatalf("c = %g, want 14", got)
+	}
+}
+
+func TestLinRegCorrectnessAllModes(t *testing.T) {
+	for _, mode := range []ReuseMode{ReuseNone, ReuseTrace, ReuseLIMA, ReuseHelix, ReuseMemphisFine, ReuseMemphis} {
+		t.Run(mode.String(), func(t *testing.T) {
+			ctx := New(testConfig(mode))
+			x, y := bindLinRegInputs(ctx, 200, 8)
+			if err := ctx.RunProgram(linRegProgram([]float64{0.1, 1.0, 0.1})); err != nil {
+				t.Fatal(err)
+			}
+			// The last iteration repeats reg=0.1; its beta must equal the
+			// closed form regardless of reuse mode.
+			beta := ctx.ensureHost(ctx.Var("beta"))
+			want := referenceBeta(x, y, 0.1)
+			if !data.AllClose(beta, want, 1e-6) {
+				t.Fatalf("beta mismatch under %s:\n got %v\nwant %v", mode, beta, want)
+			}
+		})
+	}
+}
+
+func TestFunctionReuseSkipsExecution(t *testing.T) {
+	ctx := New(testConfig(ReuseMemphis))
+	bindLinRegInputs(ctx, 100, 6)
+	// Same reg value twice: second call must be a function-level hit.
+	if err := ctx.RunProgram(linRegProgram([]float64{0.5, 0.5})); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.FuncCalls != 2 || ctx.Stats.FuncReuses != 1 {
+		t.Fatalf("FuncCalls=%d FuncReuses=%d", ctx.Stats.FuncCalls, ctx.Stats.FuncReuses)
+	}
+}
+
+func TestFineGrainedReuseAcrossCalls(t *testing.T) {
+	ctx := New(testConfig(ReuseMemphisFine))
+	bindLinRegInputs(ctx, 100, 6)
+	if err := ctx.RunProgram(linRegProgram([]float64{0.1, 0.5, 1.0})); err != nil {
+		t.Fatal(err)
+	}
+	// tsmm and the vec-mm are reg-independent: calls 2 and 3 must reuse.
+	if ctx.Stats.Reused < 4 {
+		t.Fatalf("Reused = %d, want >= 4", ctx.Stats.Reused)
+	}
+	if ctx.Stats.FuncReuses != 0 {
+		t.Fatal("MPH-F must not use function-level reuse")
+	}
+}
+
+func TestHelixOnlyCoarseGrained(t *testing.T) {
+	ctx := New(testConfig(ReuseHelix))
+	bindLinRegInputs(ctx, 100, 6)
+	if err := ctx.RunProgram(linRegProgram([]float64{0.1, 0.5, 0.1})); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.FuncReuses != 1 {
+		t.Fatalf("FuncReuses = %d, want 1", ctx.Stats.FuncReuses)
+	}
+	if ctx.Stats.Reused != 0 {
+		t.Fatalf("HELIX must not reuse fine-grained ops, got %d", ctx.Stats.Reused)
+	}
+}
+
+func TestBaseNoTracing(t *testing.T) {
+	ctx := New(testConfig(ReuseNone))
+	bindLinRegInputs(ctx, 50, 4)
+	if err := ctx.RunProgram(linRegProgram([]float64{0.1, 0.1})); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.LMap.Traced() != 0 {
+		t.Fatal("Base must not trace lineage")
+	}
+	if ctx.Cache.Stats.Probes != 0 {
+		t.Fatal("Base must not probe the cache")
+	}
+}
+
+func TestSparkRDDReuseEndToEnd(t *testing.T) {
+	conf := testConfig(ReuseMemphisFine)
+	conf.Compiler.OpMemBudget = 4 << 10 // force X (200x8 = 12.8KB) to Spark
+	ctx := New(conf)
+	x, y := bindLinRegInputs(ctx, 200, 8)
+	if err := ctx.RunProgram(linRegProgram([]float64{0.1, 0.5, 1.0, 2.0})); err != nil {
+		t.Fatal(err)
+	}
+	beta := ctx.ensureHost(ctx.Var("beta"))
+	if !data.AllClose(beta, referenceBeta(x, y, 2.0), 1e-6) {
+		t.Fatal("distributed beta mismatch")
+	}
+	if ctx.Stats.SPInsts == 0 {
+		t.Fatal("expected Spark instructions")
+	}
+	s := ctx.Cache.Stats
+	if s.HitsRDD == 0 && s.HitsActon == 0 {
+		t.Fatalf("expected RDD or action reuse, stats = %+v", s)
+	}
+	// Later calls must launch fewer Spark jobs than the first.
+	if ctx.SC.Stats.Jobs >= 4*2 {
+		t.Fatalf("too many Spark jobs (%d): reuse is not bypassing them", ctx.SC.Stats.Jobs)
+	}
+}
+
+func TestSparkActionReuseBypassesJob(t *testing.T) {
+	conf := testConfig(ReuseMemphisFine)
+	conf.Compiler.OpMemBudget = 4 << 10
+	ctx := New(conf)
+	bindLinRegInputs(ctx, 200, 8)
+	if err := ctx.RunProgram(linRegProgram([]float64{0.1})); err != nil {
+		t.Fatal(err)
+	}
+	jobsAfterFirst := ctx.SC.Stats.Jobs
+	if err := ctx.RunProgram(linRegProgram([]float64{0.1})); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.SC.Stats.Jobs != jobsAfterFirst {
+		t.Fatalf("second identical run launched %d new jobs",
+			ctx.SC.Stats.Jobs-jobsAfterFirst)
+	}
+	if ctx.Stats.ActionReuses == 0 && ctx.Cache.Stats.HitsRDD == 0 {
+		t.Fatal("no action/RDD reuse recorded")
+	}
+}
+
+func TestGPUExecutionAndReuse(t *testing.T) {
+	conf := testConfig(ReuseMemphisFine)
+	conf.Compiler.GPUEnabled = true
+	conf.Compiler.GPUMinCells = 64
+	ctx := New(conf)
+	x := data.RandNorm(32, 32, 0, 1, 3)
+	w := data.RandNorm(32, 32, 0, 0.1, 4)
+	ctx.BindHost("X", x)
+	ctx.BindHost("W", w)
+	prog := ir.NewProgram()
+	prog.Main = []ir.Block{ir.ForRange("i", 3, ir.BB(
+		ir.Assign("h", ir.ReLU(ir.MatMul(ir.Var("X"), ir.Var("W")))),
+		ir.Assign("s", ir.Sum(ir.Var("h"))),
+	))}
+	if err := ctx.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.GPUInsts == 0 {
+		t.Fatal("expected GPU instructions")
+	}
+	if ctx.Cache.Stats.HitsGPU == 0 {
+		t.Fatalf("expected GPU pointer reuse, stats = %+v", ctx.Cache.Stats)
+	}
+	// Value must match host compute.
+	want := data.Sum(data.ReLU(data.MatMul(x, w)))
+	got := ctx.ensureHost(ctx.Var("s")).ScalarValue()
+	if diff := want - got; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("s = %g, want %g", got, want)
+	}
+}
+
+func TestGPUOOMFallsBackToCP(t *testing.T) {
+	conf := testConfig(ReuseNone)
+	conf.Compiler.GPUEnabled = true
+	conf.Compiler.GPUMinCells = 16
+	conf.GPUCapacity = 4 << 10 // 4KB device: a 32x32 output won't fit
+	ctx := New(conf)
+	x := data.RandNorm(32, 32, 0, 1, 3)
+	ctx.BindHost("X", x)
+	prog := ir.NewProgram()
+	prog.Main = []ir.Block{ir.BB(ir.Assign("h", ir.MatMul(ir.Var("X"), ir.Var("X"))))}
+	if err := ctx.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.GPUFallbacks == 0 {
+		t.Fatal("expected CP fallback under device OOM")
+	}
+	if !data.AllClose(ctx.ensureHost(ctx.Var("h")), data.MatMul(x, x), 1e-9) {
+		t.Fatal("fallback result wrong")
+	}
+}
+
+func TestPrefetchOverlap(t *testing.T) {
+	// With async operators the driver should finish sooner than without.
+	run := func(async bool) float64 {
+		conf := testConfig(ReuseNone)
+		conf.Compiler.OpMemBudget = 4 << 10
+		conf.Compiler.Async = async
+		conf.Compiler.MaxParallelize = async
+		ctx := New(conf)
+		bindLinRegInputs(ctx, 400, 8)
+		prog := ir.NewProgram()
+		prog.Main = []ir.Block{ir.BB(
+			ir.Assign("A", ir.TSMM(ir.Var("X"))),
+			ir.Assign("b", ir.MatMul(ir.T(ir.Var("y")), ir.Var("X"))),
+			ir.Assign("r", ir.Solve(ir.Add(ir.Var("A"), ir.Diag(ir.Var("ones"))), ir.T(ir.Var("b")))),
+		)}
+		if err := ctx.RunProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Clock.Now()
+	}
+	sync, asyn := run(false), run(true)
+	if asyn >= sync {
+		t.Fatalf("async (%g) must beat sync (%g)", asyn, sync)
+	}
+}
+
+func TestLoopCheckpointBoundsLazyGraph(t *testing.T) {
+	// PNMF-like loop: an updated distributed variable. Without
+	// checkpoints every job re-executes all previous iterations; with the
+	// compiler-injected checkpoint, partitions come from cache.
+	build := func() *ir.Program {
+		p := ir.NewProgram()
+		body := ir.BB(
+			ir.Assign("W", ir.Mul(ir.Var("W"), ir.Lit(0.99))),
+			// Consuming the distributed sum on the driver triggers a job
+			// per iteration, like PNMF's convergence check.
+			ir.Assign("acc", ir.Add(ir.Var("acc"), ir.Sum(ir.Var("W")))),
+		)
+		// Auto-tuning marks the loop-dependent body with a high delay
+		// factor, so the updated W is never persisted by fine-grained RDD
+		// caching (it never repeats); only the compiler-placed checkpoint
+		// bounds the growing lazy graph (§5.2).
+		body.DelayFactor = 4
+		p.Main = []ir.Block{ir.ForRange("i", 8, body)}
+		return p
+	}
+	run := func(checkpoints bool) (int64, float64) {
+		conf := testConfig(ReuseMemphis)
+		conf.Compiler.OpMemBudget = 4 << 10
+		ctx := New(conf)
+		ctx.BindHost("W", data.RandNorm(400, 8, 1, 0.1, 5))
+		ctx.BindHost("acc", data.Scalar(0))
+		prog := build()
+		if checkpoints {
+			compiler.InjectLoopCheckpoints(prog)
+		}
+		if err := ctx.RunProgram(prog); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.SC.Stats.PartitionsComputed, ctx.Clock.Now()
+	}
+	partsNo, timeNo := run(false)
+	partsYes, timeYes := run(true)
+	if partsYes >= partsNo {
+		t.Fatalf("checkpointing computed %d partitions vs %d without", partsYes, partsNo)
+	}
+	if timeYes >= timeNo {
+		t.Fatalf("checkpointing slower: %g vs %g", timeYes, timeNo)
+	}
+}
+
+func TestDelayedCachingReducesRDDCaching(t *testing.T) {
+	conf := testConfig(ReuseMemphis)
+	conf.Compiler.OpMemBudget = 4 << 10
+	ctx := New(conf)
+	bindLinRegInputs(ctx, 200, 8)
+	prog := linRegProgram([]float64{0.1, 0.5, 1.0})
+	// Delay factor 2 on the function body: first execution creates
+	// placeholders only.
+	for _, b := range prog.Funcs["linRegDS"].Body {
+		if bb, ok := b.(*ir.BasicBlock); ok {
+			bb.DelayFactor = 2
+		}
+	}
+	if err := ctx.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Cache.Stats.Placeholders == 0 {
+		t.Fatal("expected TO-BE-CACHED placeholders with delay factor 2")
+	}
+}
+
+func TestMiniBatchGPURecycling(t *testing.T) {
+	conf := testConfig(ReuseNone)
+	conf.Compiler.GPUEnabled = true
+	conf.Compiler.GPUMinCells = 64
+	// A small device fills within the first iterations; afterwards the
+	// pool serves every fixed-size allocation by recycling.
+	conf.GPUCapacity = 16 << 10
+	ctx := New(conf)
+	ctx.BindHost("X", data.RandNorm(256, 16, 0, 1, 6))
+	ctx.BindHost("W", data.RandNorm(16, 16, 0, 0.1, 7))
+	// Mini-batch loop: each iteration slices a different batch, so outputs
+	// are not reusable, but freed temporaries recycle.
+	p := ir.NewProgram()
+	body := ir.BB(
+		ir.Assign("batch", ir.SliceRowsVar(ir.Var("X"), ir.Mul(ir.Var("i"), ir.Lit(16)), 16)),
+		ir.Assign("h", ir.ReLU(ir.MatMul(ir.Var("batch"), ir.Var("W")))),
+		ir.Assign("loss", ir.Sum(ir.Var("h"))),
+	)
+	p.Main = []ir.Block{ir.ForRange("i", 16, body)}
+	if err := ctx.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.GM.Stats.Recycled == 0 {
+		t.Fatalf("expected pointer recycling in mini-batch loop: %+v", ctx.GM.Stats)
+	}
+}
+
+func TestWhileAndIfBlocks(t *testing.T) {
+	ctx := New(testConfig(ReuseNone))
+	ctx.BindHost("x", data.Scalar(0))
+	p := ir.NewProgram()
+	p.Main = []ir.Block{
+		&ir.WhileBlock{
+			Cond:    ir.Lt(ir.Var("x"), ir.Lit(5)),
+			MaxIter: 100,
+			Body:    []ir.Block{ir.BB(ir.Assign("x", ir.Add(ir.Var("x"), ir.Lit(1))))},
+		},
+		ir.If(ir.Gt(ir.Var("x"), ir.Lit(4)),
+			[]ir.Block{ir.BB(ir.Assign("y", ir.Lit(1)))},
+			[]ir.Block{ir.BB(ir.Assign("y", ir.Lit(0)))}),
+	}
+	if err := ctx.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.ensureHost(ctx.Var("x")).ScalarValue(); got != 5 {
+		t.Fatalf("x = %g, want 5", got)
+	}
+	if got := ctx.ensureHost(ctx.Var("y")).ScalarValue(); got != 1 {
+		t.Fatalf("y = %g, want 1", got)
+	}
+}
+
+func TestCPAllowlistRestrictsReuse(t *testing.T) {
+	conf := testConfig(ReuseLIMA)
+	conf.CPAllowlist = map[string]bool{"scale": true}
+	ctx := New(conf)
+	ctx.BindHost("X", data.RandNorm(32, 4, 0, 1, 8))
+	p := ir.NewProgram()
+	body := ir.BB(
+		ir.Assign("s", ir.Scale(ir.Var("X"))),
+		ir.Assign("e", ir.Exp(ir.Var("X"))),
+	)
+	p.Main = []ir.Block{ir.ForRange("i", 3, body)}
+	if err := ctx.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	// Only scale may hit; exp must recompute each iteration.
+	if ctx.Cache.Stats.HitsCP != 2 {
+		t.Fatalf("HitsCP = %d, want 2 (scale only)", ctx.Cache.Stats.HitsCP)
+	}
+}
+
+func TestLineageRecomputeRoundTrip(t *testing.T) {
+	// Serialize the lineage of a result, recompute from the log in a fresh
+	// context, and compare values (the RECOMPUTE API, §3.2).
+	ctx := New(testConfig(ReuseMemphis))
+	x, y := bindLinRegInputs(ctx, 64, 4)
+	if err := ctx.RunProgram(linRegProgram([]float64{0.7})); err != nil {
+		t.Fatal(err)
+	}
+	beta := ctx.ensureHost(ctx.Var("beta"))
+	li := ctx.LMap.Get("beta")
+	if li == nil {
+		t.Fatal("no lineage for beta")
+	}
+	// Recompute in a new context with the same persistent inputs.
+	ctx2 := New(testConfig(ReuseNone))
+	ctx2.BindHost("X", x)
+	ctx2.BindHost("y", y)
+	ctx2.BindHost("ones", data.Ones(4, 1))
+	got, err := Recompute(ctx2, li)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.AllClose(got, beta, 1e-9) {
+		t.Fatalf("recompute mismatch:\n got %v\nwant %v", got, beta)
+	}
+}

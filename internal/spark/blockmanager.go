@@ -1,0 +1,158 @@
+package spark
+
+import "memphis/internal/data"
+
+// blockKey identifies one cached partition.
+type blockKey struct {
+	rdd  int
+	part int
+}
+
+// block is one cached partition.
+type block struct {
+	m      *data.Matrix
+	size   int64
+	onDisk bool
+	level  StorageLevel
+}
+
+// BlockManager models the cluster's aggregate storage region: cached
+// partitions live in memory up to a budget; on pressure, the least recently
+// used partitions of other RDDs are evicted — dropped for MEMORY-level
+// RDDs (recomputed from Spark lineage on next access) or spilled for
+// MEMORY_AND_DISK (§2.2).
+type BlockManager struct {
+	budget int64
+	used   int64
+	blocks map[blockKey]*block
+	// lru holds keys of in-memory blocks, least recently used first.
+	lru []blockKey
+}
+
+func newBlockManager(budget int64) *BlockManager {
+	return &BlockManager{budget: budget, blocks: make(map[blockKey]*block)}
+}
+
+// Budget returns the storage memory budget.
+func (b *BlockManager) Budget() int64 { return b.budget }
+
+// Used returns the bytes of in-memory cached partitions.
+func (b *BlockManager) Used() int64 { return b.used }
+
+// touch moves k to the MRU end of the LRU list.
+func (b *BlockManager) touch(k blockKey) {
+	for i, e := range b.lru {
+		if e == k {
+			b.lru = append(b.lru[:i], b.lru[i+1:]...)
+			break
+		}
+	}
+	b.lru = append(b.lru, k)
+}
+
+func (b *BlockManager) dropFromLRU(k blockKey) {
+	for i, e := range b.lru {
+		if e == k {
+			b.lru = append(b.lru[:i], b.lru[i+1:]...)
+			return
+		}
+	}
+}
+
+// get returns a cached partition, reporting whether it came from disk.
+func (b *BlockManager) get(rdd, part int) (m *data.Matrix, onDisk, ok bool) {
+	blk, found := b.blocks[blockKey{rdd, part}]
+	if !found {
+		return nil, false, false
+	}
+	if !blk.onDisk {
+		b.touch(blockKey{rdd, part})
+	}
+	return blk.m, blk.onDisk, true
+}
+
+// contains reports whether the partition is cached (memory or disk).
+func (b *BlockManager) contains(rdd, part int) bool {
+	_, ok := b.blocks[blockKey{rdd, part}]
+	return ok
+}
+
+// put caches a freshly computed partition, evicting LRU partitions of other
+// RDDs as needed. It returns how many victim partitions were spilled to
+// disk and how many were dropped. A partition larger than the whole budget
+// goes straight to disk if its level allows, else it is not cached (Spark
+// semantics).
+func (b *BlockManager) put(rdd, part int, m *data.Matrix, level StorageLevel) (spilled, dropped int) {
+	k := blockKey{rdd, part}
+	if _, ok := b.blocks[k]; ok {
+		return 0, 0
+	}
+	size := m.SizeBytes()
+	if size > b.budget {
+		if level == StorageMemoryAndDisk {
+			b.blocks[k] = &block{m: m, size: size, onDisk: true, level: level}
+		}
+		return 0, 0
+	}
+	for b.used+size > b.budget {
+		victim := b.pickVictim(rdd)
+		if victim == nil {
+			// Everything in memory belongs to this RDD; skip caching.
+			return spilled, dropped
+		}
+		vb := b.blocks[*victim]
+		b.dropFromLRU(*victim)
+		b.used -= vb.size
+		if vb.level == StorageMemoryAndDisk {
+			vb.onDisk = true
+			spilled++
+		} else {
+			delete(b.blocks, *victim)
+			dropped++
+		}
+	}
+	b.blocks[k] = &block{m: m, size: size, level: level}
+	b.used += size
+	b.lru = append(b.lru, k)
+	return spilled, dropped
+}
+
+// pickVictim returns the LRU in-memory block not belonging to the RDD
+// currently being written (Spark never evicts blocks of the same RDD to
+// admit its own partitions).
+func (b *BlockManager) pickVictim(writingRDD int) *blockKey {
+	for _, k := range b.lru {
+		if k.rdd != writingRDD {
+			k := k
+			return &k
+		}
+	}
+	return nil
+}
+
+// remove drops all blocks (memory and disk) of an RDD (unpersist).
+func (b *BlockManager) remove(rdd int) {
+	for k, blk := range b.blocks {
+		if k.rdd == rdd {
+			if !blk.onDisk {
+				b.used -= blk.size
+				b.dropFromLRU(k)
+			}
+			delete(b.blocks, k)
+		}
+	}
+}
+
+// memoryBytesOf returns the in-memory bytes cached for an RDD.
+func (b *BlockManager) memoryBytesOf(rdd int) int64 {
+	var n int64
+	for k, blk := range b.blocks {
+		if k.rdd == rdd && !blk.onDisk {
+			n += blk.size
+		}
+	}
+	return n
+}
+
+// NumBlocks returns the number of cached blocks (memory + disk).
+func (b *BlockManager) NumBlocks() int { return len(b.blocks) }

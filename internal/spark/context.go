@@ -1,0 +1,273 @@
+// Package spark simulates a Spark cluster backend faithfully enough to
+// exercise every Spark-specific challenge the paper addresses (§2.2):
+// lazily evaluated RDD transformations vs. job-triggering actions, stages
+// split at shuffle boundaries, per-cluster storage memory with partition
+// eviction and disk spill, persist/unpersist storage levels, implicit
+// shuffle-file caching, and torrent-style broadcast variables whose data
+// lingers in the driver until destroyed. Real partition values are computed
+// so results are exact; time is charged onto the virtual clock from the
+// cost model (job/stage/task overheads, compute throughput, exchange and
+// collect bandwidths).
+package spark
+
+import (
+	"fmt"
+
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/vtime"
+)
+
+// Config sizes the simulated cluster.
+type Config struct {
+	NumExecutors  int
+	CoresPerExec  int
+	StorageMemory int64 // aggregate storage region across executors, bytes
+	// JobSlots is the number of Spark jobs that can execute concurrently
+	// (FAIR-scheduler pools); asynchronous operators exploit it.
+	JobSlots int
+}
+
+// DefaultConfig mirrors the paper's 8-worker cluster, scaled to simulation.
+func DefaultConfig() Config {
+	return Config{NumExecutors: 8, CoresPerExec: 24, StorageMemory: 64 << 20, JobSlots: 4}
+}
+
+// Stats counts cluster events; experiments assert on these.
+type Stats struct {
+	Jobs               int64
+	Stages             int64
+	Tasks              int64
+	PartitionsComputed int64
+	CacheHits          int64
+	DiskReads          int64
+	DiskSpills         int64
+	PartitionsEvicted  int64
+	ShuffleBytes       int64
+	ShuffleFileReuses  int64
+	CollectBytes       int64
+	BroadcastBytes     int64
+}
+
+// Context is the entry point to the simulated cluster, playing the role of
+// SparkContext plus the DAGScheduler.
+type Context struct {
+	clock   *vtime.Clock
+	slots   []*vtime.Resource
+	disk    *vtime.Resource
+	model   *costs.Model
+	conf    Config
+	bm      *BlockManager
+	nextRDD int
+	nextBC  int
+
+	// driverBroadcastBytes tracks serialized broadcast data retained in
+	// the driver until destroy() — the dangling-reference problem of
+	// Figure 2(b).
+	driverBroadcastBytes int64
+
+	Stats Stats
+}
+
+// NewContext returns a simulated cluster on the given clock.
+func NewContext(clock *vtime.Clock, model *costs.Model, conf Config) *Context {
+	if conf.NumExecutors <= 0 || conf.CoresPerExec <= 0 {
+		panic("spark: invalid cluster config")
+	}
+	n := conf.JobSlots
+	if n <= 0 {
+		n = 1
+	}
+	slots := make([]*vtime.Resource, n)
+	for i := range slots {
+		slots[i] = clock.Resource(fmt.Sprintf("spark-%d", i))
+	}
+	return &Context{
+		clock: clock,
+		slots: slots,
+		disk:  clock.Resource("spark-disk"),
+		model: model,
+		conf:  conf,
+		bm:    newBlockManager(conf.StorageMemory),
+	}
+}
+
+// freestSlot returns the job slot that becomes available first.
+func (c *Context) freestSlot() *vtime.Resource {
+	best := c.slots[0]
+	for _, s := range c.slots[1:] {
+		if s.BusyUntil() < best.BusyUntil() {
+			best = s
+		}
+	}
+	return best
+}
+
+// Clock returns the virtual clock (for tests).
+func (c *Context) Clock() *vtime.Clock { return c.clock }
+
+// Cluster returns the first job slot (for tests and overlap accounting).
+func (c *Context) Cluster() *vtime.Resource { return c.slots[0] }
+
+// BlockManager exposes cluster storage (for tests and cache policies).
+func (c *Context) BlockManager() *BlockManager { return c.bm }
+
+// Config returns the cluster configuration.
+func (c *Context) Config() Config { return c.conf }
+
+// DriverBroadcastBytes returns serialized broadcast bytes held in the driver.
+func (c *Context) DriverBroadcastBytes() int64 { return c.driverBroadcastBytes }
+
+// taskSlots returns the number of parallel task slots.
+func (c *Context) taskSlots() int { return c.conf.NumExecutors * c.conf.CoresPerExec }
+
+// jobCost aggregates one job's virtual duration and memoizes partition
+// values so fan-out in the RDD DAG does not recompute shared ancestors
+// (Spark evaluates each partition at most once per stage).
+type jobCost struct {
+	stages  map[int]struct{} // wide RDD ids crossed (each adds a stage)
+	tasks   int
+	flops   float64
+	shuffle int64
+	disk    int64
+	memo    map[blockKey]*data.Matrix
+}
+
+// RunJob evaluates the given partitions of the target RDD, materializing
+// cached ancestors on the way, and returns the partition values. This is
+// the DAGScheduler: it charges job launch, per-stage and per-task overheads,
+// compute, shuffle and disk traffic onto the cluster timeline. If async is
+// true the driver does not block; the returned future completes the job.
+func (c *Context) RunJob(r *RDD, parts []int, async bool) ([]*data.Matrix, *vtime.Future) {
+	if r.ctx != c {
+		panic("spark: RDD from a different context")
+	}
+	cost := &jobCost{stages: make(map[int]struct{}), memo: make(map[blockKey]*data.Matrix)}
+	out := make([]*data.Matrix, len(parts))
+	for i, p := range parts {
+		out[i] = c.evaluate(r, p, cost)
+	}
+	c.Stats.Jobs++
+	nStages := int64(len(cost.stages)) + 1
+	c.Stats.Stages += nStages
+	c.Stats.Tasks += int64(cost.tasks)
+	// Pending broadcast data is lazily shipped with the first job that
+	// needs it (torrent broadcast).
+	var bcTime float64
+	for _, b := range collectBroadcasts(r) {
+		if !b.transferred && !b.destroyed {
+			b.transferred = true
+			c.Stats.BroadcastBytes += b.size
+			bcTime += costs.Transfer(b.size, c.model.BroadcastBW, 0)
+		}
+	}
+	dur := c.model.SparkJobOverhead +
+		float64(nStages)*c.model.SparkStageOverhead +
+		float64(cost.tasks)*c.model.SparkTaskOverhead/float64(c.taskSlots())*float64(min(cost.tasks, c.taskSlots())) +
+		costs.Compute(cost.flops, c.model.SparkFlops) +
+		costs.Transfer(cost.shuffle, c.model.SparkExchangeBW, 0) +
+		costs.Transfer(cost.disk, c.model.DiskBW, 0) +
+		bcTime
+	slot := c.freestSlot()
+	if async {
+		f := c.clock.RunAsync(slot, dur, fmt.Sprintf("job(rdd%d)", r.id))
+		return out, f
+	}
+	c.clock.RunSync(slot, dur)
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// evaluate returns the value of one partition, consulting the block manager
+// and shuffle files before recomputing from parents (Spark lineage).
+func (c *Context) evaluate(r *RDD, part int, cost *jobCost) *data.Matrix {
+	if part < 0 || part >= r.parts {
+		panic(fmt.Sprintf("spark: partition %d out of %d (rdd %d)", part, r.parts, r.id))
+	}
+	if m, ok := cost.memo[blockKey{r.id, part}]; ok {
+		return m
+	}
+	// Cached partition (storage memory or disk)?
+	if m, onDisk, ok := c.bm.get(r.id, part); ok {
+		c.Stats.CacheHits++
+		if onDisk {
+			c.Stats.DiskReads++
+			cost.disk += m.SizeBytes()
+		}
+		return m
+	}
+	// Implicitly cached shuffle files let a wide RDD be recomputed without
+	// re-running its map side.
+	if r.wide && r.shuffleFiles != nil {
+		if m := r.shuffleFiles[part]; m != nil {
+			c.Stats.ShuffleFileReuses++
+			cost.disk += m.SizeBytes()
+			return m
+		}
+	}
+	cost.tasks++
+	c.Stats.PartitionsComputed++
+	var out *data.Matrix
+	if r.wide {
+		cost.stages[r.id] = struct{}{}
+		// Wide dependency: requires all parent partitions.
+		parents := make([][]*data.Matrix, len(r.deps))
+		for d, dep := range r.deps {
+			parents[d] = make([]*data.Matrix, dep.parts)
+			for p := 0; p < dep.parts; p++ {
+				parents[d][p] = c.evaluate(dep, p, cost)
+			}
+		}
+		out = r.compute(part, parents)
+		cost.shuffle += r.shuffleBytes / int64(r.parts)
+		c.Stats.ShuffleBytes += r.shuffleBytes / int64(r.parts)
+		if r.shuffleFiles == nil {
+			r.shuffleFiles = make([]*data.Matrix, r.parts)
+		}
+		r.shuffleFiles[part] = out
+	} else {
+		parents := make([][]*data.Matrix, len(r.deps))
+		for d, dep := range r.deps {
+			parents[d] = []*data.Matrix{c.evaluate(dep, part, cost)}
+		}
+		out = r.compute(part, parents)
+	}
+	cost.flops += r.flopsPerPart(part)
+	if r.level != StorageNone {
+		spilled, evicted := c.bm.put(r.id, part, out, r.level)
+		c.Stats.DiskSpills += int64(spilled)
+		c.Stats.PartitionsEvicted += int64(evicted)
+	}
+	cost.memo[blockKey{r.id, part}] = out
+	return out
+}
+
+// collectBroadcasts gathers the broadcast variables referenced anywhere in
+// the (not yet materialized) lineage of r.
+func collectBroadcasts(r *RDD) []*Broadcast {
+	var out []*Broadcast
+	seen := make(map[int]struct{})
+	var walk func(*RDD)
+	walk = func(n *RDD) {
+		if _, ok := seen[n.id]; ok {
+			return
+		}
+		seen[n.id] = struct{}{}
+		out = append(out, n.bcasts...)
+		for _, d := range n.deps {
+			walk(d)
+		}
+	}
+	walk(r)
+	return out
+}
+
+// CleanShuffles drops the implicit shuffle-file cache of an RDD (modeling
+// ContextCleaner activity when an RDD is garbage collected).
+func (c *Context) CleanShuffles(r *RDD) { r.shuffleFiles = nil }

@@ -1,0 +1,40 @@
+package workloads
+
+import (
+	"testing"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/runtime"
+	"memphis/internal/spark"
+)
+
+// TestCheckpointLineageTransparency is a regression test: under the
+// MAXPARALLELIZE ordering, the loop-checkpoint instruction may be routed
+// through a temporary (chkpoint _t <- W; assign W <- _t). The checkpoint
+// must propagate its input's lineage to the output, or the updated
+// variable's lineage resets to a leaf and iteration-dependent operations
+// falsely hit the cache (observed as PNMF diverging at iteration 4).
+func TestCheckpointLineageTransparency(t *testing.T) {
+	run := func(mode runtime.ReuseMode) float64 {
+		comp := compiler.DefaultConfig()
+		comp.OpMemBudget = 8 << 10
+		comp.MaxParallelize = true
+		ctx := runtime.New(runtime.Config{
+			Mode: mode, Compiler: comp, Cache: core.DefaultConfig(),
+			Spark: spark.DefaultConfig(),
+		})
+		w := PNMF(400, 30, 4, 4, 11)
+		compiler.InjectLoopCheckpoints(w.Prog)
+		if _, err := w.Run(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.EnsureHostValue(ctx.Var("obj")).ScalarValue()
+	}
+	base := run(runtime.ReuseNone)
+	for _, mode := range []runtime.ReuseMode{runtime.ReuseLIMA, runtime.ReuseMemphisFine, runtime.ReuseMemphis} {
+		if got := run(mode); got != base {
+			t.Fatalf("mode %v: obj = %g, want %g (stale reuse through checkpoint)", mode, got, base)
+		}
+	}
+}

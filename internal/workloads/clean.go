@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"fmt"
+
+	"memphis/internal/data"
+	"memphis/internal/datasets"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// cleanStep names a cleaning primitive applied in a pipeline.
+type cleanStep string
+
+const (
+	stepImputeMean cleanStep = "imputeMean"
+	stepImputeMode cleanStep = "imputeMode"
+	stepOutlier    cleanStep = "outlierIQR"
+	stepScale      cleanStep = "scale"
+	stepMinMax     cleanStep = "minmax"
+	stepSample     cleanStep = "usample"
+	stepPCA        cleanStep = "pca"
+)
+
+// cleanPipelines enumerates the 12 pipelines of the CLEAN workload: data-
+// dependent orderings of imputation, outlier removal, normalization, class
+// balancing, and dimensionality reduction (§6.3). Shared prefixes across
+// pipelines are the fine-grained reuse opportunity.
+var cleanPipelines = [][]cleanStep{
+	{stepImputeMean, stepOutlier, stepScale},
+	{stepImputeMean, stepOutlier, stepMinMax},
+	{stepImputeMean, stepOutlier, stepScale, stepPCA},
+	{stepImputeMean, stepOutlier, stepMinMax, stepPCA},
+	{stepImputeMean, stepScale},
+	{stepImputeMean, stepMinMax},
+	{stepImputeMode, stepOutlier, stepScale},
+	{stepImputeMode, stepOutlier, stepMinMax},
+	{stepImputeMode, stepOutlier, stepScale, stepPCA},
+	{stepImputeMode, stepScale},
+	{stepImputeMean, stepOutlier, stepSample, stepScale},
+	{stepImputeMode, stepOutlier, stepSample, stepMinMax},
+}
+
+// applyStep builds the ir expression for one primitive.
+func applyStep(s cleanStep, in *ir.Node, seed int64) *ir.Node {
+	switch s {
+	case stepImputeMean:
+		return ir.ImputeMean(in).WithAttr("skipLast", "1")
+	case stepImputeMode:
+		return ir.ImputeMode(in).WithAttr("skipLast", "1")
+	case stepOutlier:
+		return ir.OutlierIQR(in).WithAttr("skipLast", "1")
+	case stepScale:
+		return ir.Scale(in).WithAttr("skipLast", "1")
+	case stepMinMax:
+		return ir.MinMax(in).WithAttr("skipLast", "1")
+	case stepSample:
+		return ir.UnderSample(in, seed)
+	case stepPCA:
+		return ir.PCA(in, 8, seed)
+	default:
+		panic("unknown cleaning step")
+	}
+}
+
+// Clean builds the data-cleaning pipeline enumeration workload (Figure
+// 14(a)): all 12 pipelines run against the (replicated) APS dataset with a
+// downstream L2SVM scoring proxy, and the best scores are tracked.
+func Clean(rows, cols, scale int, svmIters int, seed int64) *Workload {
+	p := ir.NewProgram()
+	defineL2SVM(p, svmIters)
+	var blocks []ir.Block
+	const pcaK = 8
+	for pi, pipe := range cleanPipelines {
+		// Pipelines operate on X with the label appended so row-changing
+		// primitives (undersampling) keep labels aligned.
+		expr := ir.Var("Xy")
+		featCols := cols
+		for _, s := range pipe {
+			if s == stepPCA {
+				// PCA applies to features only; split, project, rejoin.
+				expr = ir.NewNode("cleanPCASplit", expr).
+					WithAttr("k", fmt.Sprint(pcaK)).WithAttr("seed", fmt.Sprint(seed))
+				featCols = pcaK
+				continue
+			}
+			expr = applyStep(s, expr, seed)
+		}
+		xyName := fmt.Sprintf("clean%d", pi)
+		feat := fmt.Sprintf("feat%d", pi)
+		lab := fmt.Sprintf("lab%d", pi)
+		w := fmt.Sprintf("w%d", pi)
+		w0 := "w0"
+		if featCols == pcaK {
+			w0 = "w0pca"
+		}
+		blocks = append(blocks, ir.BB(
+			ir.Assign(xyName, expr),
+			ir.Assign(feat, ir.Slice(ir.Var(xyName), 0, -1, 0, featCols)),
+			ir.Assign(lab, ir.Sub(ir.Mul(ir.Slice(ir.Var(xyName), 0, -1, featCols, featCols+1), ir.Lit(2)), ir.Lit(1))),
+			ir.Call("l2svm", []string{w}, ir.Var(feat), ir.Var(lab), ir.Lit(0.01), ir.Var(w0), ir.Lit(0.0001)),
+			ir.Assign("bestScore", ir.Max(ir.Var("bestScore"),
+				ir.Sum(ir.Sigmoid(ir.Mul(ir.MatMul(ir.Var(feat), ir.Var(w)), ir.Var(lab)))))),
+		))
+	}
+	p.Main = blocks
+	return &Workload{
+		Name: "CLEAN",
+		Prog: p,
+		Bind: func(ctx *runtime.Context) {
+			x, y := datasets.APS(rows, cols, seed)
+			// Scale factor replicates rows (the paper's row-append scaling).
+			for s := 1; s < scale; s++ {
+				x = data.RBind(x, x.SliceRows(0, rows))
+				y = data.RBind(y, y.SliceRows(0, rows))
+			}
+			ctx.BindHost("Xy", data.CBind(x, y))
+			ctx.BindHost("w0", data.Zeros(cols, 1))
+			ctx.BindHost("w0pca", data.Zeros(8, 1))
+			ctx.BindHost("bestScore", data.Scalar(-1e18))
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"testing"
+
+	"memphis/internal/compiler"
+	"memphis/internal/data"
+	"memphis/internal/runtime"
+)
+
+// TestValueConsistencyAcrossModes is the strongest end-to-end invariant of
+// lineage-based reuse: for every workload, the final result under full
+// MEMPHIS (reuse, async operators, checkpoints, delayed caching, GPU
+// recycling) must be bitwise identical to the Base run, because lineage
+// uniquely identifies intermediates and all randomness is seeded.
+func TestValueConsistencyAcrossModes(t *testing.T) {
+	cases := []struct {
+		name  string
+		out   string // terminal scalar variable
+		gpu   bool
+		opMem int64
+		build func() *Workload
+	}{
+		{"HCV", "best", false, 2 << 20, func() *Workload {
+			return HCV(800, 16, 2, []float64{0.1, 1, 0.1}, 7)
+		}},
+		{"PNMF", "obj", false, 8 << 10, func() *Workload {
+			return PNMF(400, 30, 4, 4, 11)
+		}},
+		{"HBAND", "ensScore", false, 1 << 30, func() *Workload {
+			return HBand(400, 12, 2, 2, 2, 10, 13)
+		}},
+		{"CLEAN", "bestScore", false, 1 << 30, func() *Workload {
+			return Clean(400, 10, 2, 2, 17)
+		}},
+		{"HDROP", "bestLoss", true, 1 << 30, func() *Workload {
+			return HDrop(128, 6, 30, []float64{0.1, 0.3}, 2, 32, 19)
+		}},
+		{"EN2DE", "total", true, 1 << 30, func() *Workload {
+			return En2De(80, 30, 8, 16, 23)
+		}},
+		{"TLVIS", "rank", true, 1 << 30, func() *Workload {
+			return TLVis(8, 4, 8, 8, 29)
+		}},
+		{"EnsembleCNN", "score", true, 1 << 30, func() *Workload {
+			return EnsembleCNN(32, 8, 6, 6, 0.5, 41)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(mode runtime.ReuseMode) *data.Matrix {
+				ctx := newCtx(mode, tc.gpu, tc.opMem)
+				w := tc.build()
+				if mode == runtime.ReuseMemphis {
+					compiler.AutoTune(w.Prog)
+					compiler.InjectLoopCheckpoints(w.Prog)
+					compiler.InjectEvictions(w.Prog)
+				}
+				if _, err := w.Run(ctx); err != nil {
+					t.Fatalf("%v run: %v", mode, err)
+				}
+				v := ctx.Var(tc.out)
+				if v == nil {
+					t.Fatalf("%v: output %q unbound", mode, tc.out)
+				}
+				return ctx.EnsureHostValue(v)
+			}
+			base := run(runtime.ReuseNone)
+			mph := run(runtime.ReuseMemphis)
+			if !data.AllClose(base, mph, 1e-9) {
+				t.Fatalf("MPH result differs from Base:\n base %v\n mph  %v\n diff %g", base, mph, base.ScalarValue()-mph.ScalarValue())
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package workloads
+
+import (
+	"memphis/internal/data"
+	"memphis/internal/datasets"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// En2De builds the translation-scoring workload (Figure 14(c)): a
+// pre-trained four-layer fully-connected scorer over word embeddings,
+// applied to a Zipf-distributed word sequence. The loop iterates over word
+// IDs, so duplicate words produce identical lineage: full MEMPHIS reuses
+// the scoring function's host result (eliminating all GPU work for the
+// word), MPH-F reuses GPU pointers, and the Clipper emulation restricts
+// reuse to the score function (prediction caching).
+func En2De(nWords, vocab, dim, hidden int, seed int64) *Workload {
+	p := ir.NewProgram()
+	p.Define(&ir.Function{
+		Name:          "score",
+		Params:        []string{"wid", "E", "W1", "W2", "W3", "W4"},
+		Returns:       []string{"pick"},
+		Deterministic: true,
+		Body: []ir.Block{ir.BB(
+			ir.Assign("emb", ir.SliceRowsVar(ir.Var("E"), ir.Var("wid"), 1)),
+			ir.Assign("h1", ir.ReLU(ir.MatMul(ir.Var("emb"), ir.Var("W1")))),
+			ir.Assign("h2", ir.ReLU(ir.MatMul(ir.Var("h1"), ir.Var("W2")))),
+			ir.Assign("h3", ir.ReLU(ir.MatMul(ir.Var("h2"), ir.Var("W3")))),
+			ir.Assign("probs", ir.Softmax(ir.MatMul(ir.Var("h3"), ir.Var("W4")))),
+			// Picking the argmax word happens on the host: the function's
+			// result is a driver-side prediction (Clipper-style caching).
+			ir.Assign("pick", ir.RowMaxIdx(ir.Var("probs"))),
+		)},
+	})
+	ids, emb := datasets.WMT14Words(nWords, vocab, dim, seed)
+	idVals := make([]float64, len(ids))
+	for i, id := range ids {
+		idVals[i] = float64(id)
+	}
+	p.Main = []ir.Block{
+		ir.For("wid", idVals, ir.BB(
+			ir.Call("score", []string{"out"},
+				ir.Var("wid"), ir.Var("E"), ir.Var("W1"), ir.Var("W2"), ir.Var("W3"), ir.Var("W4")),
+			ir.Assign("total", ir.Add(ir.Var("total"), ir.Var("out"))),
+		)),
+	}
+	return &Workload{
+		Name:     "EN2DE",
+		Prog:     p,
+		NeedsGPU: true,
+		Bind: func(ctx *runtime.Context) {
+			ctx.BindHost("E", emb)
+			ctx.BindHost("W1", data.RandNorm(dim, hidden, 0, 0.1, seed+1))
+			ctx.BindHost("W2", data.RandNorm(hidden, hidden, 0, 0.1, seed+2))
+			ctx.BindHost("W3", data.RandNorm(hidden, hidden, 0, 0.1, seed+3))
+			ctx.BindHost("W4", data.RandNorm(hidden, vocab, 0, 0.1, seed+4))
+			ctx.BindHost("total", data.Scalar(0))
+		},
+	}
+}

@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"fmt"
+
+	"memphis/internal/data"
+	"memphis/internal/datasets"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// HBand builds the Hyperband-like model-search workload (Figure 13(c)):
+// successive halving over L2SVM and multinomial logistic regression
+// configurations, followed by weighted ensemble learning whose random
+// search repeats the XB multiplications (the paper's key reuse target).
+// Across brackets the surviving configurations retrain with doubled
+// iteration counts, so the earlier iterations' lineage repeats exactly.
+func HBand(rows, cols, brackets, startConfigs, startIters, ensembleConfigs int, seed int64) *Workload {
+	p := ir.NewProgram()
+	// A single training-step function keeps iteration lineage shared;
+	// brackets call it repeatedly with growing counts.
+	defineL2SVM(p, startIters)
+	defineMLogReg(p, startIters)
+
+	var blocks []ir.Block
+	regs := make([]float64, startConfigs)
+	for i := range regs {
+		regs[i] = 0.001 * float64(int(1)<<uint(i%10)) * (1 + float64(i)*0.37)
+	}
+	// Successive halving: bracket b evaluates the first
+	// startConfigs/2^b configs with startIters*2^b iterations by calling
+	// the trainers repeatedly (calls with identical inputs reuse).
+	for b := 0; b < brackets; b++ {
+		nCfg := startConfigs >> b
+		if nCfg < 1 {
+			nCfg = 1
+		}
+		repeats := 1 << b // startIters * 2^b total iterations
+		var stmts []ir.Stmt
+		for c := 0; c < nCfg; c++ {
+			wSVM := fmt.Sprintf("wsvm_b%d_c%d", b, c)
+			wMLR := fmt.Sprintf("wmlr_b%d_c%d", b, c)
+			svmIn, mlrIn := "w0", "W0"
+			for r := 0; r < repeats; r++ {
+				// Chained calls: the first r segments repeat across
+				// brackets and reuse at function level.
+				svmOut, mlrOut := wSVM, wMLR
+				if r < repeats-1 {
+					svmOut = fmt.Sprintf("%s_r%d", wSVM, r)
+					mlrOut = fmt.Sprintf("%s_r%d", wMLR, r)
+				}
+				stmts = append(stmts,
+					ir.Call("l2svm", []string{svmOut},
+						ir.Var("X"), ir.Var("ys"), ir.Lit(regs[c]), ir.Var(svmIn), ir.Lit(0.001)),
+					ir.Call("mlogreg", []string{mlrOut},
+						ir.Var("X"), ir.Var("Y"), ir.Lit(regs[c]), ir.Var(mlrIn), ir.Lit(0.001)))
+				svmIn, mlrIn = svmOut, mlrOut
+			}
+			// Validation scores keep results live.
+			stmts = append(stmts,
+				ir.Assign("accSvm", ir.Add(ir.Var("accSvm"),
+					ir.Sum(ir.MatMul(ir.Var("Xv"), ir.Var(wSVM))))),
+				ir.Assign("accMlr", ir.Add(ir.Var("accMlr"),
+					ir.Sum(ir.MatMul(ir.Var("Xv"), ir.Var(wMLR))))))
+		}
+		blocks = append(blocks, &ir.BasicBlock{Stmts: stmts})
+	}
+	// Weighted ensemble: random search over weight configurations; the
+	// class-probability products X*beta are weight-independent.
+	wvals := make([]float64, ensembleConfigs)
+	for i := range wvals {
+		wvals[i] = float64(i%97) / 97.0
+	}
+	bestSvm := fmt.Sprintf("wsvm_b%d_c0", brackets-1)
+	bestMlr := fmt.Sprintf("wmlr_b%d_c0", brackets-1)
+	ens := ir.BB(
+		ir.Assign("p1", ir.MatMul(ir.Var("Xv"), ir.Var(bestSvm))),
+		ir.Assign("p2", ir.RowSums(ir.MatMul(ir.Var("Xv"), ir.Var(bestMlr)))),
+		ir.Assign("mix", ir.Add(ir.Mul(ir.Var("p1"), ir.Var("wgt")),
+			ir.Mul(ir.Var("p2"), ir.Sub(ir.Lit(1), ir.Var("wgt"))))),
+		ir.Assign("ensScore", ir.Max(ir.Var("ensScore"), ir.Sum(ir.Sigmoid(ir.Var("mix"))))),
+	)
+	blocks = append(blocks, ir.For("wgt", wvals, ens))
+	p.Main = blocks
+
+	return &Workload{
+		Name: "HBAND",
+		Prog: p,
+		Bind: func(ctx *runtime.Context) {
+			x, y := datasets.Classification(rows, cols, 0.4, seed)
+			nVal := rows / 5
+			ctx.BindHost("X", x.SliceRows(0, rows-nVal))
+			ctx.BindHost("Xv", x.SliceRows(rows-nVal, rows))
+			ys := data.Map(y.SliceRows(0, rows-nVal), func(v float64) float64 { return 2*v - 1 })
+			ctx.BindHost("ys", ys)
+			// One-hot 2-class targets for mlogreg.
+			yTrain := y.SliceRows(0, rows-nVal)
+			ctx.BindHost("Y", data.OneHot(data.AddScalar(yTrain, 1)))
+			ctx.BindHost("w0", data.Zeros(cols, 1))
+			ctx.BindHost("W0", data.Zeros(cols, 2))
+			ctx.BindHost("accSvm", data.Scalar(0))
+			ctx.BindHost("accMlr", data.Scalar(0))
+			ctx.BindHost("ensScore", data.Scalar(-1e18))
+		},
+	}
+}

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"fmt"
+
+	"memphis/internal/datasets"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// HCV builds the grid-search cross-validation workload (Figure 13(a)):
+// k-fold cross-validated direct-solve linear regression evaluated for each
+// regularization value. The per-fold X^T X and X^T y are independent of
+// the regularizer, so MEMPHIS reuses them (locally or as RDDs/actions)
+// across the grid.
+func HCV(rows, cols, folds int, regs []float64, seed int64) *Workload {
+	p := ir.NewProgram()
+	defineLinRegDS(p)
+
+	// Fold preparation (static): train/test splits by row ranges.
+	var prep []ir.Stmt
+	foldRows := rows / folds
+	for f := 0; f < folds; f++ {
+		lo, hi := f*foldRows, (f+1)*foldRows
+		prep = append(prep,
+			ir.Assign(fmt.Sprintf("Xts%d", f), ir.Slice(ir.Var("X"), lo, hi, 0, -1)),
+			ir.Assign(fmt.Sprintf("yts%d", f), ir.Slice(ir.Var("y"), lo, hi, 0, -1)),
+		)
+		// Training set: rows outside [lo,hi).
+		switch {
+		case f == 0:
+			prep = append(prep,
+				ir.Assign("Xtr0", ir.Slice(ir.Var("X"), hi, -1, 0, -1)),
+				ir.Assign("ytr0", ir.Slice(ir.Var("y"), hi, -1, 0, -1)))
+		case f == folds-1:
+			prep = append(prep,
+				ir.Assign(fmt.Sprintf("Xtr%d", f), ir.Slice(ir.Var("X"), 0, lo, 0, -1)),
+				ir.Assign(fmt.Sprintf("ytr%d", f), ir.Slice(ir.Var("y"), 0, lo, 0, -1)))
+		default:
+			prep = append(prep,
+				ir.Assign(fmt.Sprintf("Xtr%d", f), ir.RBind(
+					ir.Slice(ir.Var("X"), 0, lo, 0, -1),
+					ir.Slice(ir.Var("X"), hi, -1, 0, -1))),
+				ir.Assign(fmt.Sprintf("ytr%d", f), ir.RBind(
+					ir.Slice(ir.Var("y"), 0, lo, 0, -1),
+					ir.Slice(ir.Var("y"), hi, -1, 0, -1))))
+		}
+	}
+
+	// Grid loop: every fold trains and scores for the current reg.
+	var gridStmts []ir.Stmt
+	gridStmts = append(gridStmts, ir.Assign("cvScore", ir.Lit(0)))
+	for f := 0; f < folds; f++ {
+		beta := fmt.Sprintf("beta%d", f)
+		gridStmts = append(gridStmts,
+			ir.Call("linRegDS", []string{beta},
+				ir.Var(fmt.Sprintf("Xtr%d", f)), ir.Var(fmt.Sprintf("ytr%d", f)),
+				ir.Var("reg"), ir.Var("eye")))
+		gridStmts = append(gridStmts,
+			r2Stmts(fmt.Sprintf("r2_%d", f), fmt.Sprintf("Xts%d", f), fmt.Sprintf("yts%d", f), beta)...)
+		gridStmts = append(gridStmts,
+			ir.Assign("cvScore", ir.Add(ir.Var("cvScore"), ir.Var(fmt.Sprintf("r2_%d", f)))))
+	}
+	gridStmts = append(gridStmts, ir.Assign("best", ir.Max(ir.Var("best"), ir.Var("cvScore"))))
+
+	p.Main = []ir.Block{
+		&ir.BasicBlock{Stmts: prep},
+		ir.For("reg", regs, &ir.BasicBlock{Stmts: gridStmts}),
+	}
+
+	return &Workload{
+		Name: "HCV",
+		Prog: p,
+		Bind: func(ctx *runtime.Context) {
+			x, y := datasets.Regression(rows, cols, seed)
+			ctx.BindHost("X", x)
+			ctx.BindHost("y", y)
+			ctx.BindHost("best", dataScalar(-1e18))
+			bindEye(ctx, cols)
+		},
+	}
+}

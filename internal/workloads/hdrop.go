@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"memphis/internal/data"
+	"memphis/internal/datasets"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// HDrop builds the dropout-rate tuning workload (Figure 14(b)): grid search
+// over dropout rates of a two-hidden-layer autoencoder trained with
+// mini-batches, where every iteration first applies an input data pipeline
+// (binning, recoding, one-hot on the host; normalization on the GPU). The
+// IDP is rate- and epoch-independent, so MEMPHIS reuses it batch-wise
+// across epochs and grid points; the training pass itself depends on the
+// evolving weights and is not reusable.
+func HDrop(rows, cols, hidden int, rates []float64, epochs, batch int, seed int64) *Workload {
+	p := ir.NewProgram()
+	nBatches := rows / batch
+	batchStarts := make([]float64, nBatches)
+	for i := range batchStarts {
+		batchStarts[i] = float64(i * batch)
+	}
+	// Input data pipeline (host transforms; the scale runs on GPU).
+	idp := ir.BB(
+		ir.Assign("raw", ir.SliceRowsVar(ir.Var("X"), ir.Var("bs"), batch)),
+		ir.Assign("enc", ir.OneHotFixed(ir.Bin(ir.Var("raw"), 10), 10)),
+		ir.Assign("bn", ir.Scale(ir.Var("enc"))),
+	)
+	// Forward + simple decoder-gradient step (weights evolve, so this
+	// chain is iteration-dependent).
+	train := ir.BB(
+		ir.Assign("h1", ir.ReLU(ir.MatMul(ir.Var("bn"), ir.Var("W1")))),
+		ir.Assign("h1d", ir.DropoutVar(ir.Var("h1"), ir.Var("rate"), seed+7)),
+		ir.Assign("z", ir.ReLU(ir.MatMul(ir.Var("h1d"), ir.Var("W2")))),
+		ir.Assign("out", ir.MatMul(ir.Var("z"), ir.Var("W3"))),
+		ir.Assign("err", ir.Sub(ir.Var("out"), ir.Var("bn"))),
+		ir.Assign("G3", ir.MatMul(ir.T(ir.Var("z")), ir.Var("err"))),
+		ir.Assign("W3", ir.Sub(ir.Var("W3"), ir.Mul(ir.Var("G3"), ir.Lit(1e-4)))),
+		ir.Assign("loss", ir.Add(ir.Var("loss"), ir.Sum(ir.Pow(ir.Var("err"), 2)))),
+	)
+	p.Main = []ir.Block{
+		ir.For("rate", rates,
+			ir.BB(ir.Assign("loss", ir.Lit(0))),
+			ir.ForRange("ep", epochs,
+				ir.For("bs", batchStarts, idp, train),
+			),
+			ir.BB(ir.Assign("bestLoss", ir.Min(ir.Var("bestLoss"), ir.Var("loss")))),
+		),
+	}
+	return &Workload{
+		Name:     "HDROP",
+		Prog:     p,
+		NeedsGPU: true,
+		Bind: func(ctx *runtime.Context) {
+			x, _ := datasets.KDD98(rows, cols, cols/3, seed)
+			ctx.BindHost("X", x)
+			// Encoded width depends on the data; bind weights lazily is
+			// not possible, so pre-compute the IDP width once.
+			encCols := cols * 10
+			ctx.BindHost("W1", data.RandNorm(encCols, hidden, 0, 0.1, seed+1))
+			ctx.BindHost("W2", data.RandNorm(hidden, 2, 0, 0.1, seed+2))
+			ctx.BindHost("W3", data.RandNorm(2, encCols, 0, 0.1, seed+3))
+			ctx.BindHost("bestLoss", data.Scalar(1e18))
+		},
+	}
+}

@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"memphis/internal/data"
+	"memphis/internal/datasets"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// ReuseKnob builds a hyper-parameter list of the given length in which
+// approximately reuseFrac of the entries repeat earlier values (the
+// Figure 11 "percentage of reusable instructions" knob).
+func ReuseKnob(n int, reuseFrac float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		if i > 0 && rng.Float64() < reuseFrac {
+			vals[i] = vals[rng.Intn(i)]
+		} else {
+			vals[i] = 0.0001 * float64(1+rng.Intn(1_000_000))
+		}
+	}
+	return vals
+}
+
+// L2SVMMicro builds the Figure 11 micro-benchmark: the core L2SVM loop
+// executed for many hyper-parameter trials where a controlled fraction of
+// trials repeat (binary matrix-vector operations dominate). Input size and
+// iteration count scale compute cost and instruction count independently.
+func L2SVMMicro(rows, cols, itersPerTrial int, regs []float64, seed int64) *Workload {
+	p := ir.NewProgram()
+	defineL2SVM(p, itersPerTrial)
+	p.Main = []ir.Block{
+		ir.For("reg", regs, ir.BB(
+			ir.Call("l2svm", []string{"w"},
+				ir.Var("X"), ir.Var("ys"), ir.Var("reg"), ir.Var("w0"), ir.Lit(0.001)),
+			ir.Assign("acc", ir.Add(ir.Var("acc"), ir.Sum(ir.Var("w")))),
+		)),
+	}
+	return &Workload{
+		Name: "L2SVM-micro",
+		Prog: p,
+		Bind: func(ctx *runtime.Context) {
+			x, y := datasets.Classification(rows, cols, 0.5, seed)
+			ctx.BindHost("X", x)
+			ctx.BindHost("ys", data.Map(y, func(v float64) float64 { return 2*v - 1 }))
+			ctx.BindHost("w0", data.Zeros(cols, 1))
+			ctx.BindHost("acc", data.Scalar(0))
+		},
+	}
+}
+
+// EnsembleCNN builds the Figure 12(b) GPU micro-benchmark: two CNNs with
+// distinct allocation patterns jointly score image batches, where a
+// fraction of batches repeat (pixel-identified duplicates). Small batch
+// sizes stress probing overhead; larger ones stress eviction/recycling.
+func EnsembleCNN(nImages, batch, h, w int, reuseFrac float64, seed int64) *Workload {
+	const cIn = 1
+	p := ir.NewProgram()
+	nBatches := nImages / batch
+	rng := rand.New(rand.NewSource(seed + 99))
+	starts := make([]float64, nBatches)
+	for i := range starts {
+		if i > 0 && rng.Float64() < reuseFrac {
+			starts[i] = starts[rng.Intn(i)]
+		} else {
+			starts[i] = float64((i % nBatches) * batch)
+		}
+	}
+	// Model A: two conv layers (64, 128 channels in the paper; scaled).
+	scoreA := func(x *ir.Node) *ir.Node {
+		c1 := ir.ReLU(ir.Conv2D(x, ir.Var("wa1"), cIn, h, w, 3, 3, 1, 1))
+		c2 := ir.ReLU(ir.Conv2D(c1, ir.Var("wa2"), 8, h, w, 3, 3, 1, 1))
+		f1 := ir.ReLU(ir.MatMul(c2, ir.Var("wa3")))
+		return ir.Softmax(ir.MatMul(f1, ir.Var("wa4")))
+	}
+	// Model B: three conv layers with different channel counts.
+	scoreB := func(x *ir.Node) *ir.Node {
+		c1 := ir.ReLU(ir.Conv2D(x, ir.Var("wb1"), cIn, h, w, 3, 3, 1, 1))
+		c2 := ir.ReLU(ir.Conv2D(c1, ir.Var("wb2"), 8, h, w, 3, 3, 1, 1))
+		c3 := ir.ReLU(ir.Conv2D(c2, ir.Var("wb3"), 12, h, w, 3, 3, 1, 1))
+		f1 := ir.ReLU(ir.MatMul(c3, ir.Var("wb4")))
+		return ir.Softmax(ir.MatMul(f1, ir.Var("wb5")))
+	}
+	body := ir.BB(
+		ir.Assign("x", ir.SliceRowsVar(ir.Var("imgs"), ir.Var("bs"), batch)),
+		ir.Assign("pa", scoreA(ir.Var("x"))),
+		ir.Assign("pb", scoreB(ir.Var("x"))),
+		ir.Assign("joint", ir.Mul(ir.Add(ir.Var("pa"), ir.Var("pb")), ir.Lit(0.5))),
+		ir.Assign("score", ir.Add(ir.Var("score"), ir.Sum(ir.Var("joint")))),
+	)
+	p.Main = []ir.Block{ir.For("bs", starts, body)}
+	return &Workload{
+		Name:     "EnsembleCNN",
+		Prog:     p,
+		NeedsGPU: true,
+		Bind: func(ctx *runtime.Context) {
+			ctx.BindHost("imgs", datasets.Images(nImages, cIn, h, w, 0, seed))
+			ctx.BindHost("wa1", data.RandNorm(8, cIn*9, 0, 0.1, seed+1))
+			ctx.BindHost("wa2", data.RandNorm(12, 8*9, 0, 0.1, seed+2))
+			ctx.BindHost("wa3", data.RandNorm(12*h*w, 32, 0, 0.1, seed+3))
+			ctx.BindHost("wa4", data.RandNorm(32, 10, 0, 0.1, seed+4))
+			ctx.BindHost("wb1", data.RandNorm(8, cIn*9, 0, 0.1, seed+5))
+			ctx.BindHost("wb2", data.RandNorm(12, 8*9, 0, 0.1, seed+6))
+			ctx.BindHost("wb3", data.RandNorm(16, 12*9, 0, 0.1, seed+7))
+			ctx.BindHost("wb4", data.RandNorm(16*h*w, 32, 0, 0.1, seed+8))
+			ctx.BindHost("wb5", data.RandNorm(32, 10, 0, 0.1, seed+9))
+			ctx.BindHost("score", data.Scalar(0))
+		},
+	}
+}

@@ -1,0 +1,54 @@
+package workloads
+
+import (
+	"memphis/internal/data"
+	"memphis/internal/datasets"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// dataScalar avoids importing data in every workload file.
+func dataScalar(v float64) *data.Matrix { return data.Scalar(v) }
+
+// PNMF builds Poisson non-negative matrix factorization (Figure 13(b)):
+// X (users x movies) is factorized into W (users x rank, distributed) and
+// H (rank x movies, local) via multiplicative updates. Every iteration
+// updates W, so under lazy evaluation each job re-executes all previous
+// iterations; the compiler-injected checkpoint for W bounds the graph.
+func PNMF(users, movies, rank, iters int, seed int64) *Workload {
+	p := ir.NewProgram()
+	body := ir.BB(
+		// Q = X / (W H): distributed elementwise over the reconstruction.
+		ir.Assign("R", ir.MatMul(ir.Var("W"), ir.Var("H"))),
+		ir.Assign("Q", ir.Div(ir.Var("X"), ir.Add(ir.Var("R"), ir.Lit(1e-8)))),
+		// H update: H * (t(W) Q) / t(colSums(W)).
+		ir.Assign("WtQ", ir.MatMul(ir.T(ir.Var("W")), ir.Var("Q"))),
+		ir.Assign("H", ir.Div(ir.Mul(ir.Var("H"), ir.Var("WtQ")),
+			ir.Add(ir.T(ir.Var("cw")), ir.Lit(1e-8)))),
+		ir.Assign("cw", ir.ColSums(ir.Var("W"))),
+		// W update: W * (Q t(H)) / t(rowSums(H)).
+		ir.Assign("QHt", ir.MatMul(ir.Var("Q"), ir.T(ir.Var("H")))),
+		ir.Assign("W", ir.Div(ir.Mul(ir.Var("W"), ir.Var("QHt")),
+			ir.Add(ir.T(ir.Var("rh")), ir.Lit(1e-8)))),
+		ir.Assign("rh", ir.RowSums(ir.Var("H"))),
+		// Objective probe (triggers the per-iteration jobs J1/J2).
+		ir.Assign("obj", ir.Sum(ir.Var("Q"))),
+	)
+	p.Main = []ir.Block{
+		ir.BB(
+			ir.Assign("cw", ir.ColSums(ir.Var("W"))),
+			ir.Assign("rh", ir.RowSums(ir.Var("H"))),
+		),
+		ir.ForRange("i", iters, body),
+	}
+	return &Workload{
+		Name: "PNMF",
+		Prog: p,
+		Bind: func(ctx *runtime.Context) {
+			x := datasets.MovieLens(users, movies, seed)
+			ctx.BindHost("X", x)
+			ctx.BindHost("W", data.Rand(users, rank, 0.01, 1, 1, seed+1))
+			ctx.BindHost("H", data.Rand(rank, movies, 0.01, 1, 1, seed+2))
+		},
+	}
+}

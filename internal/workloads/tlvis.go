@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+
+	"memphis/internal/data"
+	"memphis/internal/datasets"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// cnnSpec describes a simplified pre-trained CNN used for transfer
+// learning: a stack of conv+relu(+pool) layers followed by FC layers. The
+// three models proxy AlexNet, VGG16, and ResNet18 with distinct memory
+// allocation patterns (different channel counts and kernel sizes), which is
+// what drives the eviction-injection rewrite between models.
+type cnnSpec struct {
+	name     string
+	channels []int // output channels per conv layer
+	kernels  []int // square kernel size per conv layer
+	fc       []int // FC widths after flattening
+	extract  int   // number of trailing layers to extract for ranking
+}
+
+// tlvisModels mirrors the paper's AlexNet/VGG16/ResNet18 trio at toy scale.
+var tlvisModels = []cnnSpec{
+	{name: "alexnet", channels: []int{16, 32}, kernels: []int{5, 3}, fc: []int{64, 32}, extract: 3},
+	{name: "vgg16", channels: []int{16, 32, 64}, kernels: []int{3, 3, 3}, fc: []int{64, 32}, extract: 3},
+	{name: "resnet18", channels: []int{32, 64}, kernels: []int{3, 3}, fc: []int{64}, extract: 2},
+}
+
+// TLVis builds the transfer-learning feature-extraction workload (Figure
+// 14(d)): three frozen CNNs are applied to the test images; for each model
+// the last `extract` layers are candidate feature layers, each ranked with
+// a linear-classifier proxy. Extracting layer L repeats the forward pass
+// up to L, so consecutive extractions share prefixes — the reuse target.
+func TLVis(nImages, batch, h, w int, seed int64) *Workload {
+	const cIn = 3
+	p := ir.NewProgram()
+	nBatches := nImages / batch
+	var blocks []ir.Block
+	for _, m := range tlvisModels {
+		// One loop block per model (the eviction-injection rewrite keys on
+		// sibling loops with differing conv geometries); inside, each
+		// extraction is its own basic block so compile-time CSE cannot
+		// merge them — like the separate pipeline runs a practitioner
+		// would issue — leaving prefix sharing to lineage reuse.
+		var body []ir.Block
+		for b := 0; b < nBatches; b++ {
+			img := fmt.Sprintf("img_%s_%d", m.name, b)
+			body = append(body, ir.BB(ir.Assign(img,
+				ir.Slice(ir.Var("imgs"), b*batch, (b+1)*batch, 0, -1))))
+			totalLayers := len(m.channels) + len(m.fc)
+			for ex := 0; ex < m.extract; ex++ {
+				upTo := totalLayers - m.extract + ex + 1
+				feat := buildForward(m, img, upTo, cIn, h, w)
+				fname := fmt.Sprintf("feat_%s_%d_%d", m.name, b, ex)
+				body = append(body, ir.BB(
+					ir.Assign(fname, feat),
+					// Linear proxy ranking of the extracted features.
+					ir.Assign("rank", ir.Add(ir.Var("rank"),
+						ir.Sum(ir.Sigmoid(ir.RowSums(ir.Var(fname)))))),
+				))
+			}
+		}
+		blocks = append(blocks, ir.ForRange("rep_"+m.name, 1, body...))
+	}
+	p.Main = blocks
+	return &Workload{
+		Name:     "TLVIS",
+		Prog:     p,
+		NeedsGPU: true,
+		Bind: func(ctx *runtime.Context) {
+			ctx.BindHost("imgs", datasets.Images(nImages, cIn, h, w, 0.0, seed))
+			for _, m := range tlvisModels {
+				inC := cIn
+				for li, outC := range m.channels {
+					k := m.kernels[li]
+					ctx.BindHost(fmt.Sprintf("w_%s_c%d", m.name, li),
+						data.RandNorm(outC, inC*k*k, 0, 0.1, seed+int64(li)+hashName(m.name)))
+					inC = outC
+				}
+				// FC input width depends on the final spatial dims.
+				fh, fw := h, w
+				for range m.channels {
+					fh /= 2
+					fw /= 2
+				}
+				inW := inC * fh * fw
+				for fi, width := range m.fc {
+					ctx.BindHost(fmt.Sprintf("w_%s_f%d", m.name, fi),
+						data.RandNorm(inW, width, 0, 0.1, seed+int64(100+fi)+hashName(m.name)))
+					inW = width
+				}
+			}
+			ctx.BindHost("rank", data.Scalar(0))
+		},
+	}
+}
+
+// buildForward constructs the forward expression of the first upTo layers.
+func buildForward(m cnnSpec, imgVar string, upTo, cIn, h, w int) *ir.Node {
+	x := ir.Var(imgVar)
+	curC, curH, curW := cIn, h, w
+	layer := 0
+	for li, outC := range m.channels {
+		if layer >= upTo {
+			return x
+		}
+		k := m.kernels[li]
+		pad := k / 2
+		x = ir.ReLU(ir.Conv2D(x, ir.Var(fmt.Sprintf("w_%s_c%d", m.name, li)),
+			curC, curH, curW, k, k, 1, pad))
+		x = ir.MaxPool(x, outC, curH, curW, 2, 2, 2)
+		curC, curH, curW = outC, curH/2, curW/2
+		layer++
+	}
+	for fi := range m.fc {
+		if layer >= upTo {
+			return x
+		}
+		x = ir.ReLU(ir.MatMul(x, ir.Var(fmt.Sprintf("w_%s_f%d", m.name, fi))))
+		layer++
+	}
+	return x
+}
+
+func hashName(s string) int64 {
+	var h int64
+	for _, c := range s {
+		h = h*31 + int64(c)
+	}
+	return h % 1000
+}

@@ -1,0 +1,124 @@
+// Package workloads builds the paper's evaluation pipelines (Table 3) as ir
+// programs over the mini ML system: grid-search cross-validation (HCV),
+// Poisson non-negative matrix factorization (PNMF), Hyperband-style model
+// search (HBAND), data-cleaning pipeline enumeration (CLEAN), dropout-rate
+// tuning with an input data pipeline (HDROP), translation scoring (EN2DE),
+// and transfer-learning feature extraction (TLVIS), plus the
+// micro-benchmark programs of §6.2. Each workload is scaled down ~1000x
+// from the paper; the virtual-clock cost model preserves relative shapes.
+package workloads
+
+import (
+	"fmt"
+
+	"memphis/internal/data"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+)
+
+// Workload couples a program with its input binder.
+type Workload struct {
+	Name string
+	Prog *ir.Program
+	// Bind installs the input datasets into a fresh context.
+	Bind func(ctx *runtime.Context)
+	// NeedsGPU marks workloads whose configs should enable the GPU.
+	NeedsGPU bool
+}
+
+// Run binds inputs and executes the workload, returning the virtual time.
+func (w *Workload) Run(ctx *runtime.Context) (float64, error) {
+	w.Bind(ctx)
+	start := ctx.Clock.Now()
+	if err := ctx.RunProgram(w.Prog); err != nil {
+		return 0, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return ctx.Clock.Now() - start, nil
+}
+
+// defineLinRegDS registers the Example 4.1 direct-solve linear regression:
+// the X^T X and X^T y computations are regularizer-independent, making them
+// the canonical multi-backend reuse targets.
+func defineLinRegDS(p *ir.Program) {
+	p.Define(&ir.Function{
+		Name:          "linRegDS",
+		Params:        []string{"X", "y", "reg", "eye"},
+		Returns:       []string{"beta"},
+		Deterministic: true,
+		Body: []ir.Block{ir.BB(
+			ir.Assign("A", ir.TSMM(ir.Var("X"))),
+			ir.Assign("b", ir.MatMul(ir.T(ir.Var("y")), ir.Var("X"))),
+			ir.Assign("Ar", ir.Add(ir.Var("A"), ir.Mul(ir.Var("eye"), ir.Var("reg")))),
+			ir.Assign("beta", ir.Solve(ir.Var("Ar"), ir.T(ir.Var("b")))),
+		)},
+	})
+}
+
+// defineL2SVM registers a gradient-descent linear SVM with squared hinge
+// loss; iters is a compile-time iteration count baked into the caller's
+// loop, so the function takes the already-prepared signed labels.
+func defineL2SVM(p *ir.Program, iters int) {
+	body := []ir.Block{ir.BB(
+		ir.Assign("w", ir.Rand(0, 1, 0, 0, 1, 42)), // placeholder, resized below
+	)}
+	_ = body
+	p.Define(&ir.Function{
+		Name:          "l2svm",
+		Params:        []string{"X", "ys", "reg", "w0", "lr"},
+		Returns:       []string{"w"},
+		Deterministic: true,
+		Body: []ir.Block{
+			ir.BB(ir.Assign("w", ir.Var("w0"))),
+			ir.ForRange("it", iters,
+				ir.BB(
+					ir.Assign("out", ir.MatMul(ir.Var("X"), ir.Var("w"))),
+					// Squared hinge gradient: -2 X^T (ys * max(0, 1-ys*out)) + 2 reg w.
+					ir.Assign("hinge", ir.Max(ir.Sub(ir.Lit(1), ir.Mul(ir.Var("ys"), ir.Var("out"))), ir.Lit(0))),
+					ir.Assign("g", ir.Add(
+						ir.Mul(ir.MatMul(ir.T(ir.Var("X")), ir.Mul(ir.Var("ys"), ir.Var("hinge"))), ir.Lit(-2)),
+						ir.Mul(ir.Var("w"), ir.Mul(ir.Var("reg"), ir.Lit(2))))),
+					ir.Assign("w", ir.Sub(ir.Var("w"), ir.Mul(ir.Var("g"), ir.Var("lr")))),
+				),
+			),
+		},
+	})
+}
+
+// defineMLogReg registers a softmax-regression trainer.
+func defineMLogReg(p *ir.Program, iters int) {
+	p.Define(&ir.Function{
+		Name:          "mlogreg",
+		Params:        []string{"X", "Y", "reg", "W0", "lr"},
+		Returns:       []string{"W"},
+		Deterministic: true,
+		Body: []ir.Block{
+			ir.BB(ir.Assign("W", ir.Var("W0"))),
+			ir.ForRange("it", iters,
+				ir.BB(
+					ir.Assign("P", ir.Softmax(ir.MatMul(ir.Var("X"), ir.Var("W")))),
+					ir.Assign("G", ir.Add(
+						ir.MatMul(ir.T(ir.Var("X")), ir.Sub(ir.Var("P"), ir.Var("Y"))),
+						ir.Mul(ir.Var("W"), ir.Var("reg")))),
+					ir.Assign("W", ir.Sub(ir.Var("W"), ir.Mul(ir.Var("G"), ir.Var("lr")))),
+				),
+			),
+		},
+	})
+}
+
+// r2Block appends statements computing the R^2 of predictions on holdout
+// data into the named score variable.
+func r2Stmts(score, xTest, yTest, beta string) []ir.Stmt {
+	pred, res, tot := "_p_"+score, "_r_"+score, "_s_"+score
+	return []ir.Stmt{
+		ir.Assign(pred, ir.MatMul(ir.Var(xTest), ir.Var(beta))),
+		ir.Assign(res, ir.Sum(ir.Pow(ir.Sub(ir.Var(yTest), ir.Var(pred)), 2))),
+		ir.Assign(tot, ir.Sum(ir.Pow(ir.Sub(ir.Var(yTest), ir.Mean(ir.Var(yTest))), 2))),
+		ir.Assign(score, ir.Sub(ir.Lit(1), ir.Div(ir.Var(res), ir.Var(tot)))),
+	}
+}
+
+// onesEye builds the identity matrix binder used by linRegDS callers.
+func bindEye(ctx *runtime.Context, cols int) {
+	ctx.BindHost("eye", data.Identity(cols))
+}

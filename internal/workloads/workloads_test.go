@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"testing"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/gpu"
+	"memphis/internal/runtime"
+	"memphis/internal/spark"
+)
+
+// newCtx builds a context at simulation scale for the given mode.
+func newCtx(mode runtime.ReuseMode, gpuOn bool, opMem int64) *runtime.Context {
+	comp := compiler.DefaultConfig()
+	if opMem > 0 {
+		comp.OpMemBudget = opMem
+	}
+	comp.GPUEnabled = gpuOn
+	comp.GPUMinCells = 256
+	if mode == runtime.ReuseMemphis || mode == runtime.ReuseMemphisFine {
+		comp.Async = true
+		comp.MaxParallelize = true
+		comp.CheckpointInjection = true
+	}
+	pol := gpu.PolicyMemphis
+	if mode == runtime.ReuseNone {
+		// Base lacks MEMPHIS's unified memory manager: raw cudaMalloc/Free.
+		pol = gpu.PolicyNone
+	}
+	return runtime.New(runtime.Config{
+		Mode:        mode,
+		Compiler:    comp,
+		Cache:       core.DefaultConfig(),
+		Spark:       spark.DefaultConfig(),
+		GPUCapacity: 32 << 20,
+		GPUPolicy:   pol,
+	})
+}
+
+// runPair executes the workload under Base and MPH and returns both times
+// plus the contexts for stat assertions. It also applies the program-level
+// MEMPHIS rewrites for the MPH run.
+func runPair(t *testing.T, build func() *Workload, gpuOn bool, opMem int64) (baseT, mphT float64, mph *runtime.Context) {
+	t.Helper()
+	base := newCtx(runtime.ReuseNone, gpuOn, opMem)
+	wBase := build()
+	baseT, err := wBase.Run(base)
+	if err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	mph = newCtx(runtime.ReuseMemphis, gpuOn, opMem)
+	wMph := build()
+	compiler.AutoTune(wMph.Prog)
+	compiler.InjectLoopCheckpoints(wMph.Prog)
+	compiler.InjectEvictions(wMph.Prog)
+	mphT, err = wMph.Run(mph)
+	if err != nil {
+		t.Fatalf("mph run: %v", err)
+	}
+	return baseT, mphT, mph
+}
+
+func TestHCVSpeedupAndReuse(t *testing.T) {
+	build := func() *Workload {
+		return HCV(4000, 48, 3, []float64{0.01, 0.1, 1, 10}, 7)
+	}
+	baseT, mphT, mph := runPair(t, build, false, 0)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g)", mphT, baseT)
+	}
+	if mph.Stats.FuncReuses != 0 {
+		t.Fatal("distinct regs should not hit function reuse")
+	}
+	if mph.Cache.Stats.HitsCP == 0 {
+		t.Fatal("expected fine-grained reuse of per-fold gram matrices")
+	}
+}
+
+func TestHCVDistributed(t *testing.T) {
+	build := func() *Workload {
+		return HCV(400, 8, 2, []float64{0.01, 0.1, 1}, 7)
+	}
+	// Tiny op budget pushes X and the gram computation to Spark.
+	baseT, mphT, mph := runPair(t, build, false, 2<<10)
+	if mph.SC.Stats.Jobs == 0 {
+		t.Fatal("expected Spark jobs")
+	}
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g) on Spark", mphT, baseT)
+	}
+	s := mph.Cache.Stats
+	if s.HitsRDD == 0 && s.HitsActon == 0 {
+		t.Fatalf("expected distributed reuse, stats %+v", s)
+	}
+}
+
+func TestPNMFCheckpointing(t *testing.T) {
+	build := func() *Workload { return PNMF(600, 40, 4, 6, 11) }
+	baseT, mphT, mph := runPair(t, build, false, 8<<10)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g)", mphT, baseT)
+	}
+	if mph.Stats.Checkpoints == 0 {
+		t.Fatal("expected loop checkpoints on the updated factor")
+	}
+	// Base re-executes previous iterations; MPH must compute far fewer
+	// partitions per iteration.
+	base := newCtx(runtime.ReuseNone, false, 8<<10)
+	w := build()
+	if _, err := w.Run(base); err != nil {
+		t.Fatal(err)
+	}
+	if mph.SC.Stats.PartitionsComputed >= base.SC.Stats.PartitionsComputed {
+		t.Fatalf("MPH computed %d partitions vs Base %d",
+			mph.SC.Stats.PartitionsComputed, base.SC.Stats.PartitionsComputed)
+	}
+}
+
+func TestHBandMultiLevelReuse(t *testing.T) {
+	build := func() *Workload { return HBand(16000, 64, 3, 4, 3, 50, 13) }
+	baseT, mphT, mph := runPair(t, build, false, 0)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g)", mphT, baseT)
+	}
+	if mph.Stats.FuncReuses == 0 {
+		t.Fatal("successive halving must reuse earlier training calls")
+	}
+	if mph.Cache.Stats.HitsCP == 0 {
+		t.Fatal("ensemble search must reuse the XB products")
+	}
+}
+
+func TestCleanSharedPrefixes(t *testing.T) {
+	build := func() *Workload { return Clean(4000, 16, 4, 3, 17) }
+	baseT, mphT, mph := runPair(t, build, false, 0)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g)", mphT, baseT)
+	}
+	if mph.Cache.Stats.HitsCP == 0 {
+		t.Fatal("cleaning pipelines must reuse shared prefixes")
+	}
+}
+
+func TestHDropIDPReuse(t *testing.T) {
+	build := func() *Workload {
+		return HDrop(256, 8, 50, []float64{0.1, 0.3}, 3, 32, 19)
+	}
+	baseT, mphT, mph := runPair(t, build, true, 0)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g)", mphT, baseT)
+	}
+	// The input data pipeline repeats across epochs and rates.
+	if mph.Cache.Stats.HitsCP == 0 && mph.Cache.Stats.HitsGPU == 0 {
+		t.Fatalf("expected IDP reuse, stats %+v", mph.Cache.Stats)
+	}
+}
+
+func TestEn2DePredictionReuse(t *testing.T) {
+	build := func() *Workload { return En2De(150, 40, 16, 32, 23) }
+	baseT, mphT, mph := runPair(t, build, true, 0)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g)", mphT, baseT)
+	}
+	if mph.Stats.FuncReuses == 0 {
+		t.Fatal("duplicate words must reuse host predictions")
+	}
+}
+
+func TestTLVisPrefixReuse(t *testing.T) {
+	build := func() *Workload { return TLVis(16, 8, 8, 8, 29) }
+	baseT, mphT, mph := runPair(t, build, true, 1<<30)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g)", mphT, baseT)
+	}
+	if mph.Cache.Stats.HitsGPU == 0 {
+		t.Fatalf("layer extraction must reuse forward-pass prefixes, stats %+v", mph.Cache.Stats)
+	}
+	if mph.Stats.Evicts == 0 {
+		t.Fatal("expected compiler-injected evictions between models")
+	}
+}
+
+func TestL2SVMMicroReuseKnob(t *testing.T) {
+	regs0 := ReuseKnob(20, 0, 31)
+	regs80 := ReuseKnob(20, 0.8, 31)
+	dups := func(v []float64) int {
+		seen := map[float64]bool{}
+		d := 0
+		for _, x := range v {
+			if seen[x] {
+				d++
+			}
+			seen[x] = true
+		}
+		return d
+	}
+	if dups(regs0) != 0 {
+		t.Fatal("0% knob must not repeat")
+	}
+	if d := dups(regs80); d < 10 {
+		t.Fatalf("80%% knob repeats %d/20, want >= 10", d)
+	}
+	build := func() *Workload { return L2SVMMicro(4000, 48, 3, regs80, 37) }
+	baseT, mphT, _ := runPair(t, build, false, 0)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g) at 80%% reuse", mphT, baseT)
+	}
+}
+
+func TestEnsembleCNNDuplicateBatches(t *testing.T) {
+	build := func() *Workload { return EnsembleCNN(256, 8, 6, 6, 0.6, 41) }
+	baseT, mphT, mph := runPair(t, build, true, 1<<30)
+	if mphT >= baseT {
+		t.Fatalf("MPH (%.4g) must beat Base (%.4g)", mphT, baseT)
+	}
+	if mph.Cache.Stats.HitsGPU == 0 {
+		t.Fatal("duplicate batches must reuse GPU pointers")
+	}
+}

@@ -1,0 +1,194 @@
+// Package memphis is the public facade of the MEMPHIS reproduction: a
+// multi-backend ML system (local CPU, simulated Spark cluster, simulated
+// GPU) with holistic lineage-based reuse and memory management, following
+// "MEMPHIS: Holistic Lineage-based Reuse and Memory Management for
+// Multi-backend ML Systems" (EDBT 2025).
+//
+// A Session owns the backends, the compiler, and the hierarchical lineage
+// cache. Programs are built with the ir package's expression API, bound to
+// input matrices, and executed with per-instruction lineage tracing and
+// reuse. Time is virtual: deterministic and reproducible, charged from an
+// analytic cost model onto per-resource timelines.
+//
+//	s := memphis.New(memphis.Options{Reuse: memphis.ReuseFull})
+//	s.Bind("X", data.RandNorm(1000, 32, 0, 1, 7))
+//	prog := ir.NewProgram()
+//	prog.Main = []ir.Block{ir.BB(ir.Assign("G", ir.TSMM(ir.Var("X"))))}
+//	_ = s.Run(prog)
+//	fmt.Println(s.VirtualTime(), s.CacheStats().HitsCP)
+package memphis
+
+import (
+	"fmt"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/data"
+	"memphis/internal/gpu"
+	"memphis/internal/ir"
+	"memphis/internal/lineage"
+	"memphis/internal/runtime"
+	"memphis/internal/spark"
+)
+
+// Matrix is the dense matrix type used for inputs and results.
+type Matrix = data.Matrix
+
+// Reuse selects the reuse framework configuration.
+type Reuse int
+
+const (
+	// ReuseOff disables lineage tracing and reuse (the Base baseline).
+	ReuseOff Reuse = iota
+	// ReuseLocal enables eager fine-grained reuse of local operations
+	// only (LIMA).
+	ReuseLocal
+	// ReuseCoarse enables function-level reuse only (HELIX-style).
+	ReuseCoarse
+	// ReuseFine enables fine-grained reuse across all backends without
+	// function-level reuse (MPH-F).
+	ReuseFine
+	// ReuseFull is complete MEMPHIS: multi-backend fine-grained plus
+	// multi-level reuse with all compiler extensions.
+	ReuseFull
+)
+
+// Options configures a Session. The zero value runs everything locally
+// without reuse.
+type Options struct {
+	Reuse Reuse
+
+	// EnableGPU adds the simulated accelerator; GPUCapacity defaults to
+	// 48 MB (the paper's 48 GB at 1/1000 scale).
+	EnableGPU   bool
+	GPUCapacity int64
+
+	// OpMemBudget is the operation memory: operators with larger
+	// estimates compile to distributed Spark instructions. Defaults to
+	// 7 MB ("7 GB" at scale).
+	OpMemBudget int64
+
+	// CacheBudget is the driver lineage cache size (default 5 MB).
+	CacheBudget int64
+
+	// DisableAsync turns off the prefetch/broadcast operators and
+	// MAXPARALLELIZE ordering that ReuseFull enables by default (MPH-NA).
+	DisableAsync bool
+}
+
+// Session is an execution context over the simulated multi-backend stack.
+type Session struct {
+	ctx  *runtime.Context
+	opts Options
+}
+
+// New creates a session.
+func New(opts Options) *Session {
+	comp := compiler.DefaultConfig()
+	if opts.OpMemBudget > 0 {
+		comp.OpMemBudget = opts.OpMemBudget
+	} else {
+		comp.OpMemBudget = 7 << 20
+	}
+	comp.GPUEnabled = opts.EnableGPU
+	cache := core.DefaultConfig()
+	if opts.CacheBudget > 0 {
+		cache.CPBudget = opts.CacheBudget
+	}
+	mode := runtime.ReuseNone
+	switch opts.Reuse {
+	case ReuseLocal:
+		mode = runtime.ReuseLIMA
+	case ReuseCoarse:
+		mode = runtime.ReuseHelix
+	case ReuseFine:
+		mode = runtime.ReuseMemphisFine
+	case ReuseFull:
+		mode = runtime.ReuseMemphis
+	}
+	if (opts.Reuse == ReuseFull || opts.Reuse == ReuseFine) && !opts.DisableAsync {
+		comp.Async = true
+		comp.MaxParallelize = true
+		comp.CheckpointInjection = true
+	}
+	gcap := int64(0)
+	pol := gpu.PolicyNone
+	if opts.EnableGPU {
+		gcap = opts.GPUCapacity
+		if gcap == 0 {
+			gcap = 48 << 20
+		}
+		if opts.Reuse == ReuseFull || opts.Reuse == ReuseFine {
+			pol = gpu.PolicyMemphis
+		}
+	}
+	return &Session{
+		ctx: runtime.New(runtime.Config{
+			Mode:        mode,
+			Compiler:    comp,
+			Cache:       cache,
+			Spark:       spark.DefaultConfig(),
+			GPUCapacity: gcap,
+			GPUPolicy:   pol,
+		}),
+		opts: opts,
+	}
+}
+
+// Bind installs an input matrix under a variable name (a persistent read:
+// the root of lineage traces).
+func (s *Session) Bind(name string, m *Matrix) { s.ctx.BindHost(name, m) }
+
+// Run compiles and executes a program, applying MEMPHIS's program-level
+// rewrites (checkpoint placement, delay-factor tuning, eviction injection)
+// when full reuse is enabled. Programs may be run repeatedly; the lineage
+// cache persists across runs within the session.
+func (s *Session) Run(p *ir.Program) error {
+	if s.opts.Reuse == ReuseFull {
+		compiler.AutoTune(p)
+		compiler.InjectLoopCheckpoints(p)
+		compiler.InjectEvictions(p)
+	}
+	return s.ctx.RunProgram(p)
+}
+
+// Value fetches a variable's value to the host (triggering any pending
+// collect/copy) or returns nil if unbound.
+func (s *Session) Value(name string) *Matrix {
+	v := s.ctx.Var(name)
+	if v == nil {
+		return nil
+	}
+	return s.ctx.EnsureHostValue(v)
+}
+
+// VirtualTime returns the driver's virtual clock in seconds — the
+// deterministic simulated execution time all experiments report.
+func (s *Session) VirtualTime() float64 { return s.ctx.Clock.Now() }
+
+// Stats returns the runtime statistics (instruction counts, reuses).
+func (s *Session) Stats() runtime.Stats { return s.ctx.Stats }
+
+// CacheStats returns the lineage cache statistics (hits per backend,
+// evictions, spills, lazy GC activity).
+func (s *Session) CacheStats() core.Stats { return s.ctx.Cache.Stats }
+
+// SerializeLineage returns the lineage log of a variable (the SERIALIZE
+// API, §3.2) for sharing and exact recomputation elsewhere.
+func (s *Session) SerializeLineage(name string) (string, error) {
+	li := s.ctx.LMap.Get(name)
+	if li == nil {
+		return "", fmt.Errorf("memphis: no lineage for %q (is reuse/tracing on?)", name)
+	}
+	return lineage.Serialize(li), nil
+}
+
+// Recompute re-executes a lineage log against this session's bound inputs
+// and returns the exact original value (the RECOMPUTE API, §3.2).
+func (s *Session) Recompute(log string) (*Matrix, error) {
+	root, err := lineage.Deserialize(log)
+	if err != nil {
+		return nil, err
+	}
+	return runtime.Recompute(s.ctx, root)
+}

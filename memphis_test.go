@@ -1,0 +1,147 @@
+package memphis
+
+import (
+	"testing"
+
+	"memphis/internal/data"
+	"memphis/internal/ir"
+)
+
+// ridgeProgram is a small grid over a reusable gram matrix.
+func ridgeProgram(lambdas []float64) *ir.Program {
+	p := ir.NewProgram()
+	p.Main = []ir.Block{
+		ir.For("lambda", lambdas, ir.BB(
+			ir.Assign("G", ir.TSMM(ir.Var("X"))),
+			ir.Assign("b", ir.MatMul(ir.T(ir.Var("X")), ir.Var("y"))),
+			ir.Assign("beta", ir.Solve(ir.Add(ir.Var("G"), ir.Var("lambda")), ir.Var("b"))),
+		)),
+	}
+	return p
+}
+
+func bindInputs(s *Session) (*Matrix, *Matrix) {
+	x := data.RandNorm(300, 8, 0, 1, 7)
+	y := data.RandNorm(300, 1, 0, 1, 8)
+	s.Bind("X", x)
+	s.Bind("y", y)
+	return x, y
+}
+
+func TestSessionCorrectness(t *testing.T) {
+	for _, reuse := range []Reuse{ReuseOff, ReuseLocal, ReuseCoarse, ReuseFine, ReuseFull} {
+		s := New(Options{Reuse: reuse})
+		x, y := bindInputs(s)
+		if err := s.Run(ridgeProgram([]float64{0.5})); err != nil {
+			t.Fatal(err)
+		}
+		// The program adds lambda cellwise (scalar broadcast), so the
+		// reference does too.
+		want := data.Solve(data.AddScalar(data.TSMM(x), 0.5),
+			data.MatMul(data.Transpose(x), y))
+		if !data.AllClose(s.Value("beta"), want, 1e-8) {
+			t.Fatalf("reuse=%d: beta mismatch", reuse)
+		}
+	}
+}
+
+func TestSessionReuseAcrossRuns(t *testing.T) {
+	s := New(Options{Reuse: ReuseFull})
+	bindInputs(s)
+	if err := s.Run(ridgeProgram([]float64{0.1, 0.2})); err != nil {
+		t.Fatal(err)
+	}
+	// The loop body is partially lambda-dependent, so auto-tuning defers
+	// caching (delay factor 2): the first run creates placeholders.
+	if s.CacheStats().Placeholders == 0 {
+		t.Fatal("delayed caching should create TO-BE-CACHED placeholders")
+	}
+	// A second run of the same program is served from the cache.
+	before := s.Stats().Reused
+	if err := s.Run(ridgeProgram([]float64{0.1, 0.2})); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Reused <= before {
+		t.Fatal("second run must reuse")
+	}
+	if s.CacheStats().HitsCP == 0 {
+		t.Fatal("gram matrix should hit in the cache by the second run")
+	}
+}
+
+func TestSessionReuseOffHasNoTracing(t *testing.T) {
+	s := New(Options{})
+	bindInputs(s)
+	if err := s.Run(ridgeProgram([]float64{0.1})); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheStats().Probes != 0 {
+		t.Fatal("ReuseOff must not probe")
+	}
+	if _, err := s.SerializeLineage("beta"); err == nil {
+		t.Fatal("lineage must be unavailable without tracing")
+	}
+}
+
+func TestSessionVirtualTimeMonotone(t *testing.T) {
+	s := New(Options{Reuse: ReuseFull})
+	bindInputs(s)
+	t0 := s.VirtualTime()
+	if err := s.Run(ridgeProgram([]float64{0.3})); err != nil {
+		t.Fatal(err)
+	}
+	if s.VirtualTime() <= t0 {
+		t.Fatal("virtual time must advance")
+	}
+}
+
+func TestSessionLineageRoundTrip(t *testing.T) {
+	s := New(Options{Reuse: ReuseFull})
+	x, y := bindInputs(s)
+	if err := s.Run(ridgeProgram([]float64{0.7})); err != nil {
+		t.Fatal(err)
+	}
+	log, err := s.SerializeLineage("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay in a fresh session with the same persistent inputs.
+	s2 := New(Options{})
+	s2.Bind("X", x)
+	s2.Bind("y", y)
+	got, err := s2.Recompute(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.AllClose(got, s.Value("beta"), 1e-9) {
+		t.Fatal("recomputed beta differs")
+	}
+}
+
+func TestSessionGPUOption(t *testing.T) {
+	s := New(Options{Reuse: ReuseFull, EnableGPU: true})
+	s.Bind("X", data.RandNorm(128, 64, 0, 1, 9))
+	p := ir.NewProgram()
+	p.Main = []ir.Block{ir.BB(
+		ir.Assign("h", ir.ReLU(ir.MatMul(ir.Var("X"), ir.T(ir.Var("X"))))),
+		ir.Assign("z", ir.Sum(ir.Var("h"))),
+	)}
+	if err := s.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().GPUInsts == 0 {
+		t.Fatal("expected GPU placement with EnableGPU")
+	}
+	want := data.Sum(data.ReLU(data.MatMul(
+		data.RandNorm(128, 64, 0, 1, 9), data.Transpose(data.RandNorm(128, 64, 0, 1, 9)))))
+	if got := s.Value("z").ScalarValue(); got != want {
+		t.Fatalf("z = %g, want %g", got, want)
+	}
+}
+
+func TestSessionValueUnbound(t *testing.T) {
+	s := New(Options{})
+	if s.Value("nope") != nil {
+		t.Fatal("unbound variable must return nil")
+	}
+}
