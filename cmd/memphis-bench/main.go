@@ -7,6 +7,8 @@
 //	memphis-bench all
 //	memphis-bench fig13a fig14c
 //	memphis-bench -quick fig12b
+//	memphis-bench -json -quick all > BENCH_quick.json
+//	memphis-bench -par 1 fig14d   # force the serial kernel path
 package main
 
 import (
@@ -16,13 +18,19 @@ import (
 	"time"
 
 	"memphis/internal/bench"
+	"memphis/internal/data"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	quick := flag.Bool("quick", false, "run reduced-size variants")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	par := flag.Int("par", 0, "kernel parallelism (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	flag.Parse()
 
+	if *par > 0 {
+		data.SetParallelism(*par)
+	}
 	if *list {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Desc)
@@ -31,7 +39,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: memphis-bench [-quick] all | <experiment id>...; -list to enumerate")
+		fmt.Fprintln(os.Stderr, "usage: memphis-bench [-quick] [-json] [-par n] all | <experiment id>...; -list to enumerate")
 		os.Exit(2)
 	}
 	var ids []string
@@ -42,6 +50,7 @@ func main() {
 	} else {
 		ids = args
 	}
+	var results []bench.Result
 	for _, id := range ids {
 		e, err := bench.Find(id)
 		if err != nil {
@@ -55,7 +64,20 @@ func main() {
 		} else {
 			tb = e.Run()
 		}
+		wall := time.Since(start).Seconds()
+		if *jsonOut {
+			results = append(results, tb.Result(wall, data.Parallelism()))
+			continue
+		}
 		fmt.Println(tb.String())
-		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("(wall time %.1fs)\n\n", wall)
+	}
+	if *jsonOut {
+		out, err := bench.MarshalResults(results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 	}
 }

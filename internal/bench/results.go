@@ -1,0 +1,36 @@
+package bench
+
+import "encoding/json"
+
+// Result is the machine-readable form of one experiment run, emitted by
+// `memphis-bench -json` so BENCH_*.json trajectory files can accumulate
+// across sessions. Rows carry the virtual times (and speedup columns) the
+// table prints; WallSeconds is the simulator's real regeneration cost at
+// the recorded kernel parallelism.
+type Result struct {
+	ID          string     `json:"id"`
+	Title       string     `json:"title"`
+	Header      []string   `json:"header"`
+	Rows        [][]string `json:"rows"`
+	Notes       []string   `json:"notes,omitempty"`
+	WallSeconds float64    `json:"wall_seconds"`
+	Parallelism int        `json:"parallelism"`
+}
+
+// Result converts a finished table into its machine-readable form.
+func (t *Table) Result(wallSeconds float64, parallelism int) Result {
+	return Result{
+		ID:          t.ID,
+		Title:       t.Title,
+		Header:      t.Header,
+		Rows:        t.Rows,
+		Notes:       t.Notes,
+		WallSeconds: wallSeconds,
+		Parallelism: parallelism,
+	}
+}
+
+// MarshalResults renders results as indented JSON.
+func MarshalResults(rs []Result) ([]byte, error) {
+	return json.MarshalIndent(rs, "", "  ")
+}

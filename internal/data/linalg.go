@@ -5,62 +5,90 @@ import (
 	"math"
 )
 
-// MatMul returns a * b using a cache-blocked ikj loop.
+// MatMul returns a * b using an ikj loop, sharded over rows of a: each
+// worker produces a disjoint band of output rows with the serial
+// instruction sequence, so the result is bitwise-identical to a serial run.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("data: matmul %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-		oi := out.Data[i*n : (i+1)*n]
-		for k, av := range ai {
-			if av == 0 {
-				continue
-			}
-			bk := b.Data[k*n : (k+1)*n]
-			for j, bv := range bk {
-				oi[j] += av * bv
+	flops := 2 * float64(a.Rows) * float64(a.Cols) * float64(n)
+	parallelFor(a.Rows, flops, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			oi := out.Data[i*n : (i+1)*n]
+			for k, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.Data[k*n : (k+1)*n]
+				for j, bv := range bk {
+					oi[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// Transpose returns a^T.
+// transposeBlock is the tile edge for the cache-blocked transpose: 64x64
+// float64 tiles (two 32 KB panels) fit comfortably in L1/L2.
+const transposeBlock = 64
+
+// Transpose returns a^T using cache-blocked tiles so both the read and the
+// write stream touch whole cache lines, sharded over output rows.
 func Transpose(a *Matrix) *Matrix {
 	out := New(a.Cols, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+	parallelFor(a.Cols, float64(a.Cells()), func(lo, hi int) {
+		for jb := lo; jb < hi; jb += transposeBlock {
+			jEnd := min(jb+transposeBlock, hi)
+			for ib := 0; ib < a.Rows; ib += transposeBlock {
+				iEnd := min(ib+transposeBlock, a.Rows)
+				for j := jb; j < jEnd; j++ {
+					oj := out.Data[j*a.Rows:]
+					for i := ib; i < iEnd; i++ {
+						oj[i] = a.Data[i*a.Cols+j]
+					}
+				}
+			}
 		}
-	}
+	})
 	return out
 }
 
 // TSMM returns a^T * a (the self matrix product used by linRegDS) without
-// materializing the transpose.
+// materializing the transpose. Sharding is over output rows (columns of a):
+// each worker scans the full input but accumulates only its band of the
+// Gram matrix, in the same ascending-row order as the serial loop, keeping
+// the result bitwise-identical without a partial-merge step.
 func TSMM(a *Matrix) *Matrix {
 	n := a.Cols
 	out := New(n, n)
-	for r := 0; r < a.Rows; r++ {
-		row := a.Data[r*n : (r+1)*n]
-		for i, vi := range row {
-			if vi == 0 {
-				continue
-			}
-			oi := out.Data[i*n : (i+1)*n]
-			for j := i; j < n; j++ {
-				oi[j] += vi * row[j]
+	flops := float64(a.Rows) * float64(n) * float64(n)
+	parallelFor(n, flops, func(lo, hi int) {
+		for r := 0; r < a.Rows; r++ {
+			row := a.Data[r*n : (r+1)*n]
+			for i := lo; i < hi; i++ {
+				vi := row[i]
+				if vi == 0 {
+					continue
+				}
+				oi := out.Data[i*n : (i+1)*n]
+				for j := i; j < n; j++ {
+					oi[j] += vi * row[j]
+				}
 			}
 		}
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < i; j++ {
-			out.Data[i*n+j] = out.Data[j*n+i]
+	})
+	parallelFor(n, float64(n)*float64(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < i; j++ {
+				out.Data[i*n+j] = out.Data[j*n+i]
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -148,3 +148,52 @@ func TestPCAReconstruction(t *testing.T) {
 		t.Fatalf("dominant direction ratio = %g, want ~2", r)
 	}
 }
+
+// naiveTranspose is the pre-tiling column-strided reference, kept for the
+// blocked-transpose regression test and benchmark baseline.
+func naiveTranspose(a *Matrix) *Matrix {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*a.Rows+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	return out
+}
+
+// TestTransposeBlockedMatchesNaive pins the cache-blocked transpose to the
+// naive loop across shapes that straddle tile boundaries.
+func TestTransposeBlockedMatchesNaive(t *testing.T) {
+	for _, sh := range []struct{ r, c int }{
+		{1, 1}, {1, 200}, {200, 1}, {63, 65}, {64, 64}, {65, 63}, {128, 1000}, {515, 259},
+	} {
+		a := RandNorm(sh.r, sh.c, 0, 1, int64(sh.r*7+sh.c))
+		want, got := naiveTranspose(a), Transpose(a)
+		if !AllClose(want, got, 0) {
+			t.Fatalf("blocked transpose differs from naive at %dx%d", sh.r, sh.c)
+		}
+	}
+}
+
+// BenchmarkTranspose compares the naive column-strided loop against the
+// cache-blocked (and optionally parallel) implementation.
+func BenchmarkTranspose(b *testing.B) {
+	a := RandNorm(2048, 2048, 0, 1, 11)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			naiveTranspose(a)
+		}
+	})
+	b.Run("blocked-serial", func(b *testing.B) {
+		SetParallelism(1)
+		defer SetParallelism(0)
+		for i := 0; i < b.N; i++ {
+			Transpose(a)
+		}
+	})
+	b.Run("blocked-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Transpose(a)
+		}
+	})
+}

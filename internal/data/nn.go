@@ -22,35 +22,39 @@ func ReLUBackward(x, dout *Matrix) *Matrix {
 		panic("data: relu backward shape mismatch")
 	}
 	out := New(x.Rows, x.Cols)
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = dout.Data[i]
+	parallelFor(len(x.Data), float64(len(x.Data)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if x.Data[i] > 0 {
+				out.Data[i] = dout.Data[i]
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Softmax returns the row-wise softmax with the usual max-shift for
-// numerical stability.
+// numerical stability, sharded over rows.
 func Softmax(a *Matrix) *Matrix {
 	out := New(a.Rows, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		maxV := math.Inf(-1)
-		for j := 0; j < a.Cols; j++ {
-			if v := a.At(i, j); v > maxV {
-				maxV = v
+	parallelFor(a.Rows, 4*float64(a.Cells()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			maxV := math.Inf(-1)
+			for j := 0; j < a.Cols; j++ {
+				if v := a.At(i, j); v > maxV {
+					maxV = v
+				}
+			}
+			sum := 0.0
+			for j := 0; j < a.Cols; j++ {
+				e := math.Exp(a.At(i, j) - maxV)
+				out.Set(i, j, e)
+				sum += e
+			}
+			for j := 0; j < a.Cols; j++ {
+				out.Set(i, j, out.At(i, j)/sum)
 			}
 		}
-		sum := 0.0
-		for j := 0; j < a.Cols; j++ {
-			e := math.Exp(a.At(i, j) - maxV)
-			out.Set(i, j, e)
-			sum += e
-		}
-		for j := 0; j < a.Cols; j++ {
-			out.Set(i, j, out.At(i, j)/sum)
-		}
-	}
+	})
 	return out
 }
 
@@ -58,7 +62,10 @@ func Softmax(a *Matrix) *Matrix {
 func Affine(x, w, b *Matrix) *Matrix { return Add(MatMul(x, w), b) }
 
 // Dropout zeroes cells with probability p and scales survivors by 1/(1-p)
-// (inverted dropout). Deterministic given the seed.
+// (inverted dropout). Deterministic given the seed: each row draws from its
+// own RNG seeded by (seed, row), so the mask is a pure function of the seed
+// and the cell position — identical whether rows are processed serially or
+// sharded across workers.
 func Dropout(a *Matrix, p float64, seed int64) *Matrix {
 	if p <= 0 {
 		return a.Clone()
@@ -66,15 +73,30 @@ func Dropout(a *Matrix, p float64, seed int64) *Matrix {
 	if p >= 1 {
 		return Zeros(a.Rows, a.Cols)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	scale := 1 / (1 - p)
 	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		if rng.Float64() >= p {
-			out.Data[i] = v * scale
+	parallelFor(a.Rows, 2*float64(a.Cells()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rng := rand.New(rand.NewSource(rowSeed(seed, i)))
+			row := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+			for j, v := range row {
+				if rng.Float64() >= p {
+					orow[j] = v * scale
+				}
+			}
 		}
-	}
+	})
 	return out
+}
+
+// rowSeed derives a per-row RNG seed from the op seed via a splitmix-style
+// mix, decorrelating adjacent rows.
+func rowSeed(seed int64, row int) int64 {
+	z := uint64(seed) + uint64(row+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // Conv2D performs a direct valid 2-D convolution with stride and zero
@@ -92,7 +114,18 @@ func Conv2D(x *Matrix, w *Matrix, cIn, h, width, kH, kW, stride, pad int) *Matri
 	outH := (h+2*pad-kH)/stride + 1
 	outW := (width+2*pad-kW)/stride + 1
 	out := New(x.Rows, cOut*outH*outW)
-	for n := 0; n < x.Rows; n++ {
+	flops := 2 * float64(x.Rows) * float64(cOut) * float64(outH) * float64(outW) *
+		float64(cIn) * float64(kH) * float64(kW)
+	parallelFor(x.Rows, flops, func(nLo, nHi int) {
+		convRows(x, w, out, nLo, nHi, cIn, h, width, kH, kW, stride, pad, cOut, outH, outW)
+	})
+	return out
+}
+
+// convRows computes the convolution for the batch rows [nLo, nHi); rows are
+// independent images, so workers write disjoint output rows.
+func convRows(x, w, out *Matrix, nLo, nHi, cIn, h, width, kH, kW, stride, pad, cOut, outH, outW int) {
+	for n := nLo; n < nHi; n++ {
 		img := x.Data[n*x.Cols : (n+1)*x.Cols]
 		dst := out.Data[n*out.Cols : (n+1)*out.Cols]
 		for co := 0; co < cOut; co++ {
@@ -120,15 +153,25 @@ func Conv2D(x *Matrix, w *Matrix, cIn, h, width, kH, kW, stride, pad int) *Matri
 			}
 		}
 	}
-	return out
 }
 
-// MaxPool performs 2-D max pooling over images laid out as in Conv2D.
+// MaxPool performs 2-D max pooling over images laid out as in Conv2D,
+// sharded over batch rows.
 func MaxPool(x *Matrix, c, h, width, poolH, poolW, stride int) *Matrix {
 	outH := (h-poolH)/stride + 1
 	outW := (width-poolW)/stride + 1
 	out := New(x.Rows, c*outH*outW)
-	for n := 0; n < x.Rows; n++ {
+	work := float64(x.Rows) * float64(c) * float64(outH) * float64(outW) *
+		float64(poolH) * float64(poolW)
+	parallelFor(x.Rows, work, func(nLo, nHi int) {
+		poolRows(x, out, nLo, nHi, c, h, width, poolH, poolW, stride, outH, outW)
+	})
+	return out
+}
+
+// poolRows pools the batch rows [nLo, nHi).
+func poolRows(x, out *Matrix, nLo, nHi, c, h, width, poolH, poolW, stride, outH, outW int) {
+	for n := nLo; n < nHi; n++ {
 		img := x.Data[n*x.Cols : (n+1)*x.Cols]
 		dst := out.Data[n*out.Cols : (n+1)*out.Cols]
 		for ci := 0; ci < c; ci++ {
@@ -148,5 +191,4 @@ func MaxPool(x *Matrix, c, h, width, poolH, poolW, stride int) *Matrix {
 			}
 		}
 	}
-	return out
 }

@@ -32,22 +32,24 @@ func outShape(a, b *Matrix) (*Matrix, *Matrix) {
 	return b, a
 }
 
-// binary applies f cellwise with broadcasting. When shapes are swapped the
-// function arguments keep their original order.
+// binary applies f cellwise with broadcasting, sharded over output rows.
+// When shapes are swapped the function arguments keep their original order.
 func binary(a, b *Matrix, f func(x, y float64) float64) *Matrix {
 	big, small := outShape(a, b)
 	out := New(big.Rows, big.Cols)
 	swapped := big != a
-	for i := 0; i < big.Rows; i++ {
-		for j := 0; j < big.Cols; j++ {
-			x := big.At(i, j)
-			y := broadcastIndex(big, small, i, j)
-			if swapped {
-				x, y = y, x
+	parallelFor(big.Rows, float64(big.Cells()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < big.Cols; j++ {
+				x := big.At(i, j)
+				y := broadcastIndex(big, small, i, j)
+				if swapped {
+					x, y = y, x
+				}
+				out.Set(i, j, f(x, y))
 			}
-			out.Set(i, j, f(x, y))
 		}
-	}
+	})
 	return out
 }
 
@@ -89,12 +91,14 @@ func Less(a, b *Matrix) *Matrix {
 	})
 }
 
-// Map applies f to each cell.
+// Map applies f to each cell, sharded over the flat cell index.
 func Map(a *Matrix, f func(float64) float64) *Matrix {
 	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = f(v)
-	}
+	parallelFor(len(a.Data), float64(len(a.Data)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = f(a.Data[i])
+		}
+	})
 	return out
 }
 
@@ -163,27 +167,34 @@ func Max(a *Matrix) float64 {
 	return m
 }
 
-// RowSums returns an n x 1 vector of row sums.
+// RowSums returns an n x 1 vector of row sums, sharded over rows.
 func RowSums(a *Matrix) *Matrix {
 	out := New(a.Rows, 1)
-	for i := 0; i < a.Rows; i++ {
-		s := 0.0
-		for j := 0; j < a.Cols; j++ {
-			s += a.At(i, j)
+	parallelFor(a.Rows, float64(a.Cells()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := 0.0
+			for j := 0; j < a.Cols; j++ {
+				s += a.At(i, j)
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
-	}
+	})
 	return out
 }
 
-// ColSums returns a 1 x m vector of column sums.
+// ColSums returns a 1 x m vector of column sums. Sharding is over columns:
+// each output cell accumulates rows in ascending order exactly like the
+// serial loop, so sums are bitwise-identical.
 func ColSums(a *Matrix) *Matrix {
 	out := New(1, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			out.Data[j] += a.At(i, j)
+	parallelFor(a.Cols, float64(a.Cells()), func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for j := lo; j < hi; j++ {
+				out.Data[j] += ai[j]
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -197,60 +208,73 @@ func ColMeans(a *Matrix) *Matrix {
 	return out
 }
 
-// ColVars returns a 1 x m vector of column variances (population).
+// ColVars returns a 1 x m vector of column variances (population),
+// sharded over columns with row-ascending accumulation.
 func ColVars(a *Matrix) *Matrix {
 	mu := ColMeans(a)
 	out := New(1, a.Cols)
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			d := a.At(i, j) - mu.Data[j]
-			out.Data[j] += d * d
-		}
-	}
 	inv := 1 / float64(a.Rows)
-	for j := range out.Data {
-		out.Data[j] *= inv
-	}
+	parallelFor(a.Cols, 2*float64(a.Cells()), func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for j := lo; j < hi; j++ {
+				d := ai[j] - mu.Data[j]
+				out.Data[j] += d * d
+			}
+		}
+		for j := lo; j < hi; j++ {
+			out.Data[j] *= inv
+		}
+	})
 	return out
 }
 
-// ColMaxs returns a 1 x m vector of column maxima.
+// ColMaxs returns a 1 x m vector of column maxima, sharded over columns.
 func ColMaxs(a *Matrix) *Matrix {
 	out := Fill(1, a.Cols, math.Inf(-1))
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			if v := a.At(i, j); v > out.Data[j] {
-				out.Data[j] = v
+	parallelFor(a.Cols, float64(a.Cells()), func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for j := lo; j < hi; j++ {
+				if v := ai[j]; v > out.Data[j] {
+					out.Data[j] = v
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// ColMins returns a 1 x m vector of column minima.
+// ColMins returns a 1 x m vector of column minima, sharded over columns.
 func ColMins(a *Matrix) *Matrix {
 	out := Fill(1, a.Cols, math.Inf(1))
-	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			if v := a.At(i, j); v < out.Data[j] {
-				out.Data[j] = v
+	parallelFor(a.Cols, float64(a.Cells()), func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for j := lo; j < hi; j++ {
+				if v := ai[j]; v < out.Data[j] {
+					out.Data[j] = v
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// RowMaxIndex returns, per row, the index (0-based) of the maximal cell.
+// RowMaxIndex returns, per row, the index (0-based) of the maximal cell,
+// sharded over rows.
 func RowMaxIndex(a *Matrix) *Matrix {
 	out := New(a.Rows, 1)
-	for i := 0; i < a.Rows; i++ {
-		best, arg := math.Inf(-1), 0
-		for j := 0; j < a.Cols; j++ {
-			if v := a.At(i, j); v > best {
-				best, arg = v, j
+	parallelFor(a.Rows, float64(a.Cells()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			best, arg := math.Inf(-1), 0
+			for j := 0; j < a.Cols; j++ {
+				if v := a.At(i, j); v > best {
+					best, arg = v, j
+				}
 			}
+			out.Data[i] = float64(arg)
 		}
-		out.Data[i] = float64(arg)
-	}
+	})
 	return out
 }

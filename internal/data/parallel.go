@@ -1,0 +1,118 @@
+package data
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Deterministic parallel kernel layer. Hot kernels shard their work by
+// output rows across a package-level worker pool; every output element is
+// produced by exactly one worker running the same instruction sequence (and
+// in particular the same floating-point accumulation order) as the serial
+// loop, so results are bitwise-identical to the serial path for any
+// parallelism setting. Shard boundaries are a pure function of (n, shards),
+// never of scheduling, which keeps the design's determinism guarantee
+// (DESIGN.md §4.4) intact.
+
+// MinParallelWork is the estimated-FLOP threshold below which parallel
+// entry points take the serial path. Small inputs must not pay fan-out
+// overhead: the Figure 11(a) small-input regimes are measured on matrices
+// far below this threshold and keep their shapes.
+const MinParallelWork = 1 << 18
+
+// parallelism is the configured shard count, defaulting to GOMAXPROCS.
+var parallelism atomic.Int32
+
+func init() { parallelism.Store(int32(runtime.GOMAXPROCS(0))) }
+
+// SetParallelism sets the number of shards (and the maximum worker fan-out)
+// used by the parallel kernels. n <= 0 resets to runtime.GOMAXPROCS.
+// Results are bitwise-identical for every value of n.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism returns the configured shard count.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// The pool is a fixed set of GOMAXPROCS workers fed by an unbuffered
+// channel, started lazily on first parallel call. Submission uses a
+// non-blocking send: if no worker is free (e.g. a kernel invoked from
+// inside another parallel region), the shard runs inline on the submitting
+// goroutine, which makes nested parallelism deadlock-free by construction.
+var (
+	poolOnce sync.Once
+	poolCh   chan func()
+)
+
+func ensurePool() {
+	poolOnce.Do(func() {
+		poolCh = make(chan func())
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				for f := range poolCh {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// shardRange splits [0,n) into shards contiguous near-equal ranges and
+// returns the s-th. Earlier shards get the remainder, exactly like Spark's
+// rowsOfPart, so boundaries are reproducible.
+func shardRange(n, shards, s int) (lo, hi int) {
+	base, rem := n/shards, n%shards
+	lo = s*base + min(s, rem)
+	hi = lo + base
+	if s < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// parallelFor runs body over disjoint shards of [0,n). work is the
+// estimated total FLOPs of the loop; below MinParallelWork (or with
+// parallelism 1) the whole range runs serially on the caller. Workers never
+// receive overlapping ranges, so kernels that write only rows [lo,hi) are
+// race-free without locks.
+func parallelFor(n int, work float64, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Parallelism()
+	if p <= 1 || n < 2 || work < MinParallelWork {
+		body(0, n)
+		return
+	}
+	shards := p
+	if shards > n {
+		shards = n
+	}
+	ensurePool()
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		lo, hi := shardRange(n, shards, s)
+		f := func() {
+			defer wg.Done()
+			body(lo, hi)
+		}
+		select {
+		case poolCh <- f:
+		default:
+			f()
+		}
+	}
+	lo, hi := shardRange(n, shards, 0)
+	body(lo, hi)
+	wg.Wait()
+}
+
+// ParallelFor exposes the worker pool to other packages (the Spark
+// partition prewarm); semantics are identical to parallelFor.
+func ParallelFor(n int, work float64, body func(lo, hi int)) { parallelFor(n, work, body) }

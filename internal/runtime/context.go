@@ -86,6 +86,12 @@ type Config struct {
 	// with different hardware assumptions (e.g. Base-P's parallel feature
 	// processing) install scaled models.
 	Model *costs.Model
+
+	// Parallelism sets the wall-clock worker fan-out of the dense kernel
+	// layer and the Spark partition prewarm (data.SetParallelism). Zero
+	// leaves the process-wide setting untouched (default: GOMAXPROCS).
+	// Results and virtual times are bitwise-identical for every value.
+	Parallelism int
 }
 
 // Stats counts runtime events.
@@ -134,6 +140,9 @@ func New(conf Config) *Context {
 	model := conf.Model
 	if model == nil {
 		model = costs.Default()
+	}
+	if conf.Parallelism > 0 {
+		data.SetParallelism(conf.Parallelism)
 	}
 	ctx := &Context{
 		Clock: clock,

@@ -71,6 +71,18 @@ func (b *BlockManager) get(rdd, part int) (m *data.Matrix, onDisk, ok bool) {
 	return blk.m, blk.onDisk, true
 }
 
+// peek returns a cached partition value without touching LRU state or
+// statistics. Used by the parallel partition prewarm, which must observe
+// the block manager read-only so the serial accounting pass stays bitwise
+// reproducible.
+func (b *BlockManager) peek(rdd, part int) (*data.Matrix, bool) {
+	blk, ok := b.blocks[blockKey{rdd, part}]
+	if !ok {
+		return nil, false
+	}
+	return blk.m, true
+}
+
 // contains reports whether the partition is cached (memory or disk).
 func (b *BlockManager) contains(rdd, part int) bool {
 	_, ok := b.blocks[blockKey{rdd, part}]

@@ -131,6 +131,21 @@ type jobCost struct {
 	shuffle int64
 	disk    int64
 	memo    map[blockKey]*data.Matrix
+
+	// warm holds partition values computed ahead of time by the parallel
+	// prewarm (nil when running serially). The accounting pass consumes
+	// these instead of re-running r.compute; all bookkeeping stays on the
+	// driver goroutine, in the same order as a serial run.
+	warm map[blockKey]*data.Matrix
+}
+
+// computed returns the partition value: the prewarmed result when present,
+// otherwise the serial computation from parent values.
+func (cost *jobCost) computed(r *RDD, part int, parents [][]*data.Matrix) *data.Matrix {
+	if m, ok := cost.warm[blockKey{r.id, part}]; ok {
+		return m
+	}
+	return r.compute(part, parents)
 }
 
 // RunJob evaluates the given partitions of the target RDD, materializing
@@ -143,6 +158,9 @@ func (c *Context) RunJob(r *RDD, parts []int, async bool) ([]*data.Matrix, *vtim
 		panic("spark: RDD from a different context")
 	}
 	cost := &jobCost{stages: make(map[int]struct{}), memo: make(map[blockKey]*data.Matrix)}
+	if data.Parallelism() > 1 && len(parts) > 1 {
+		cost.warm = c.prewarm(r, parts)
+	}
 	out := make([]*data.Matrix, len(parts))
 	for i, p := range parts {
 		out[i] = c.evaluate(r, p, cost)
@@ -224,7 +242,7 @@ func (c *Context) evaluate(r *RDD, part int, cost *jobCost) *data.Matrix {
 				parents[d][p] = c.evaluate(dep, p, cost)
 			}
 		}
-		out = r.compute(part, parents)
+		out = cost.computed(r, part, parents)
 		cost.shuffle += r.shuffleBytes / int64(r.parts)
 		c.Stats.ShuffleBytes += r.shuffleBytes / int64(r.parts)
 		if r.shuffleFiles == nil {
@@ -236,7 +254,7 @@ func (c *Context) evaluate(r *RDD, part int, cost *jobCost) *data.Matrix {
 		for d, dep := range r.deps {
 			parents[d] = []*data.Matrix{c.evaluate(dep, part, cost)}
 		}
-		out = r.compute(part, parents)
+		out = cost.computed(r, part, parents)
 	}
 	cost.flops += r.flopsPerPart(part)
 	if r.level != StorageNone {

@@ -1,0 +1,98 @@
+package spark
+
+import (
+	"sync"
+
+	"memphis/internal/data"
+)
+
+// Parallel partition prewarm. RunJob's accounting pass — memoization,
+// block-manager admission/eviction, shuffle-file registration, Stats and
+// virtual-time charging — must run serially on the driver in partition
+// order to stay deterministic. The real numeric work, however, is
+// embarrassingly parallel: partition values are pure functions of the RDD
+// lineage. The prewarm fans the requested partitions out across the shared
+// worker pool and computes their values (and those of every ancestor
+// partition they need) ahead of time, observing driver state strictly
+// read-only. The serial pass then consumes the prewarmed values instead of
+// recomputing them, leaving every bookkeeping decision — and hence the
+// virtual clock — bit-identical to a serial run.
+
+// prewarmEntry deduplicates the computation of one partition across
+// concurrent workers: whichever goroutine arrives first computes, the rest
+// block on the sync.Once and read the stored value.
+type prewarmEntry struct {
+	once sync.Once
+	m    *data.Matrix
+}
+
+// prewarmState is the shared scratch of one prewarm pass.
+type prewarmState struct {
+	mu      sync.Mutex
+	entries map[blockKey]*prewarmEntry
+}
+
+// prewarm computes the values of the requested partitions of r in parallel
+// and returns them keyed by (rdd, partition), including every intermediate
+// ancestor partition that had to be computed along the way.
+func (c *Context) prewarm(r *RDD, parts []int) map[blockKey]*data.Matrix {
+	st := &prewarmState{entries: make(map[blockKey]*prewarmEntry)}
+	var work float64
+	for _, p := range parts {
+		work += r.flopsPerPart(p)
+	}
+	data.ParallelFor(len(parts), work, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.value(c, r, parts[i])
+		}
+	})
+	vals := make(map[blockKey]*data.Matrix, len(st.entries))
+	for k, e := range st.entries {
+		vals[k] = e.m
+	}
+	return vals
+}
+
+// value returns the prewarmed value of one partition, computing it (and its
+// ancestors) at most once across all workers.
+func (st *prewarmState) value(c *Context, r *RDD, part int) *data.Matrix {
+	k := blockKey{r.id, part}
+	st.mu.Lock()
+	e, ok := st.entries[k]
+	if !ok {
+		e = &prewarmEntry{}
+		st.entries[k] = e
+	}
+	st.mu.Unlock()
+	e.once.Do(func() {
+		e.m = st.compute(c, r, part)
+	})
+	return e.m
+}
+
+// compute mirrors Context.evaluate's value resolution — block-manager
+// cache, implicit shuffle files, then recomputation from parents — but
+// performs no bookkeeping and mutates no driver state. The driver is
+// quiescent while the prewarm runs, so the peeks are race-free.
+func (st *prewarmState) compute(c *Context, r *RDD, part int) *data.Matrix {
+	if m, ok := c.bm.peek(r.id, part); ok {
+		return m
+	}
+	if r.wide && r.shuffleFiles != nil {
+		if m := r.shuffleFiles[part]; m != nil {
+			return m
+		}
+	}
+	parents := make([][]*data.Matrix, len(r.deps))
+	for d, dep := range r.deps {
+		if r.wide {
+			parents[d] = make([]*data.Matrix, dep.parts)
+			for p := 0; p < dep.parts; p++ {
+				parents[d][p] = st.value(c, dep, p)
+			}
+		} else {
+			parents[d] = []*data.Matrix{st.value(c, dep, part)}
+		}
+	}
+	return r.compute(part, parents)
+}

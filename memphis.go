@@ -74,6 +74,13 @@ type Options struct {
 	// DisableAsync turns off the prefetch/broadcast operators and
 	// MAXPARALLELIZE ordering that ReuseFull enables by default (MPH-NA).
 	DisableAsync bool
+
+	// Parallelism caps the wall-clock worker fan-out of the dense kernel
+	// layer (matmul, conv, elementwise, Spark partition compute). Zero
+	// keeps the process default (GOMAXPROCS); 1 forces the serial path.
+	// Purely a wall-clock knob: results and virtual times are
+	// bitwise-identical for every value.
+	Parallelism int
 }
 
 // Session is an execution context over the simulated multi-backend stack.
@@ -130,6 +137,7 @@ func New(opts Options) *Session {
 			Spark:       spark.DefaultConfig(),
 			GPUCapacity: gcap,
 			GPUPolicy:   pol,
+			Parallelism: opts.Parallelism,
 		}),
 		opts: opts,
 	}
