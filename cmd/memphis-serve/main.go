@@ -1,0 +1,194 @@
+// Command memphis-serve demonstrates the multi-tenant serving layer: many
+// tenants replay a workload mix against one shared, concurrency-safe lineage
+// cache, and the JSON report shows cross-tenant reuse plus (with -verify)
+// that every request's virtual latency is identical to a serial replay.
+//
+// Tenants are split into -groups input groups: tenants in the same group
+// bind identically-seeded datasets, so their sub-programs reuse each other's
+// shared-cache entries; different groups never alias (content signatures
+// differ) and execute concurrently.
+//
+// Usage:
+//
+//	memphis-serve                                # 8 tenants, 2 groups, hcv
+//	memphis-serve -workload l2svm -tenants 12 -sched wfq
+//	memphis-serve -verify -check                 # exit 1 unless reuse > 0
+//	                                             # and vtimes are serial
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"memphis/internal/serve"
+	"memphis/internal/workloads"
+)
+
+// mix describes one runnable workload preset.
+type mix struct {
+	build func(seed int64) *workloads.Workload
+	fetch string
+}
+
+var mixes = map[string]mix{
+	"hcv": {
+		build: func(seed int64) *workloads.Workload {
+			return workloads.HCV(96, 8, 3, []float64{1e-3, 1e-2, 1e-1, 1}, seed)
+		},
+		fetch: "best",
+	},
+	"l2svm": {
+		build: func(seed int64) *workloads.Workload {
+			return workloads.L2SVMMicro(64, 8, 3, []float64{0.01, 0.1, 0.2, 0.5}, seed)
+		},
+		fetch: "acc",
+	},
+	"pnmf": {
+		build: func(seed int64) *workloads.Workload {
+			return workloads.PNMF(60, 40, 4, 3, seed)
+		},
+		fetch: "obj",
+	},
+}
+
+type report struct {
+	Workload          string          `json:"workload"`
+	Tenants           int             `json:"tenants"`
+	RequestsPerTenant int             `json:"requests_per_tenant"`
+	Groups            int             `json:"groups"`
+	Workers           int             `json:"workers"`
+	Sched             string          `json:"sched"`
+	Results           []*serve.Result `json:"results"`
+	Snapshot          serve.Snapshot  `json:"snapshot"`
+	// Deterministic is set by -verify: true when every request's virtual
+	// latency equals the 1-worker serial replay's.
+	Deterministic *bool `json:"deterministic,omitempty"`
+}
+
+// run replays the whole mix on a fresh server and returns the results in
+// submission (ticket) order plus the closing snapshot. Submission order is
+// fixed — round-robin over tenants — so two runs are position-comparable.
+func run(m mix, conf serve.Config, tenants, requests, groups int) ([]*serve.Result, serve.Snapshot, error) {
+	srv := serve.New(conf)
+	// One workload per group: tenants in a group share the program object
+	// and bind identically-seeded inputs.
+	ws := make([]*workloads.Workload, groups)
+	for g := range ws {
+		ws[g] = m.build(1000 + int64(g))
+	}
+	var futs []*serve.Future
+	for r := 0; r < requests; r++ {
+		for t := 0; t < tenants; t++ {
+			w := ws[t%groups]
+			f, err := srv.Submit(fmt.Sprintf("tenant-%d", t), w.Prog, serve.SubmitOptions{
+				Inputs: w.HostInputs(),
+				Fetch:  []string{m.fetch},
+			})
+			if err != nil {
+				srv.Close()
+				return nil, serve.Snapshot{}, err
+			}
+			futs = append(futs, f)
+		}
+	}
+	results := make([]*serve.Result, len(futs))
+	for i, f := range futs {
+		res, err := f.Wait()
+		if err != nil {
+			srv.Close()
+			return nil, serve.Snapshot{}, err
+		}
+		results[i] = res
+	}
+	srv.Close()
+	return results, srv.Snapshot(), nil
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "hcv", "workload mix: hcv, l2svm, or pnmf")
+		tenants  = flag.Int("tenants", 8, "number of tenants")
+		requests = flag.Int("requests", 2, "requests per tenant")
+		groups   = flag.Int("groups", 2, "input groups (tenants in a group share data)")
+		workers  = flag.Int("workers", 8, "worker-pool size")
+		sched    = flag.String("sched", "fifo", "dispatch policy: fifo or wfq")
+		shards   = flag.Int("shards", 8, "shared-cache lock shards")
+		budgetMB = flag.Int64("budget", 64, "shared-cache global budget (MB)")
+		tenantMB = flag.Int64("tenant-budget", 8, "per-tenant shared-cache budget (MB)")
+		verify   = flag.Bool("verify", false, "replay serially and compare per-request virtual times")
+		check    = flag.Bool("check", false, "exit 1 unless cross-tenant reuse occurred (and -verify held)")
+	)
+	flag.Parse()
+	m, ok := mixes[*workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "memphis-serve: unknown workload %q (want hcv, l2svm, or pnmf)\n", *workload)
+		os.Exit(2)
+	}
+	if *groups < 1 || *groups > *tenants {
+		fmt.Fprintln(os.Stderr, "memphis-serve: -groups must be in [1, tenants]")
+		os.Exit(2)
+	}
+	conf := serve.DefaultConfig()
+	conf.Workers = *workers
+	conf.Shared.Shards = *shards
+	conf.Shared.Budget = *budgetMB << 20
+	conf.Shared.TenantBudget = *tenantMB << 20
+	if *sched == "wfq" {
+		conf.Sched = serve.SchedWFQ
+	}
+
+	results, snap, err := run(m, conf, *tenants, *requests, *groups)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memphis-serve:", err)
+		os.Exit(1)
+	}
+	rep := report{
+		Workload:          *workload,
+		Tenants:           *tenants,
+		RequestsPerTenant: *requests,
+		Groups:            *groups,
+		Workers:           *workers,
+		Sched:             *sched,
+		Results:           results,
+		Snapshot:          snap,
+	}
+
+	if *verify {
+		serial := conf
+		serial.Workers = 1
+		serial.Sched = serve.SchedFIFO
+		serialRes, _, err := run(m, serial, *tenants, *requests, *groups)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memphis-serve: serial replay:", err)
+			os.Exit(1)
+		}
+		ok := len(serialRes) == len(results)
+		for i := range results {
+			if !ok {
+				break
+			}
+			ok = results[i].VirtualSeconds == serialRes[i].VirtualSeconds
+		}
+		rep.Deterministic = &ok
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memphis-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+
+	if *check {
+		if snap.Shared.CrossTenantHitRatio <= 0 {
+			fmt.Fprintln(os.Stderr, "memphis-serve: CHECK FAILED: no cross-tenant reuse")
+			os.Exit(1)
+		}
+		if rep.Deterministic != nil && !*rep.Deterministic {
+			fmt.Fprintln(os.Stderr, "memphis-serve: CHECK FAILED: virtual times diverge from serial replay")
+			os.Exit(1)
+		}
+	}
+}

@@ -180,6 +180,11 @@ type Cache struct {
 	// pendingMat are futures of asynchronous materialization jobs.
 	pendingMat []*vtime.Future
 
+	// onDrop, when set, observes every entry leaving the cache (eviction,
+	// invalidation, or explicit drop). The serving layer uses it to keep
+	// per-tenant usage accounting in sync with the entry map.
+	onDrop func(*Entry)
+
 	Stats Stats
 }
 
@@ -254,6 +259,24 @@ func (c *Cache) removeEntry(e *Entry) {
 	} else {
 		c.entries[h] = chain
 	}
+	if c.onDrop != nil {
+		c.onDrop(e)
+	}
+}
+
+// SetOnDrop installs the entry-removal observer.
+func (c *Cache) SetOnDrop(f func(*Entry)) { c.onDrop = f }
+
+// DropItem removes the entry keyed by item, releasing its resources, and
+// reports whether an entry existed. Used by the serving layer's per-tenant
+// budget enforcement, which picks victims outside the cache.
+func (c *Cache) DropItem(item *lineage.Item) bool {
+	e := c.find(item)
+	if e == nil {
+		return false
+	}
+	c.dropEntry(e)
+	return true
 }
 
 // Lookup returns the entry equal to item without charging probe cost or

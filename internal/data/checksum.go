@@ -1,0 +1,29 @@
+package data
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Checksum returns a content fingerprint of the matrix: an FNV-1a hash over
+// the dimensions and the raw bit patterns of every cell. Two matrices with
+// equal dimensions and bitwise-equal values (including NaN payloads) hash
+// identically. The serving layer combines input checksums with lineage
+// hashes so cross-tenant reuse only matches sub-programs computed from the
+// same data, not merely the same variable names.
+func (m *Matrix) Checksum() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(m.Rows))
+	put(uint64(m.Cols))
+	for _, v := range m.Data {
+		put(math.Float64bits(v))
+	}
+	return h.Sum64()
+}

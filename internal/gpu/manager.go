@@ -375,6 +375,29 @@ func (m *Manager) Defragment() {
 	m.Stats.Defrags++
 }
 
+// Close releases every pointer the manager owns — the recyclable free list
+// first, then any still-live pointers — returning all device memory. The
+// lineage cache must be cleared before Close so the recycle callback finds
+// no entries to invalidate (and charges no device-to-host eviction time).
+// After Close the manager is empty but reusable.
+func (m *Manager) Close() {
+	for {
+		p := m.popFreeAny()
+		if p == nil {
+			break
+		}
+		m.releaseFreePointer(p)
+	}
+	for p := range m.live {
+		delete(m.live, p)
+		p.RefCount = 0
+		if m.onRecycle != nil {
+			m.onRecycle(p)
+		}
+		m.dev.Free(p)
+	}
+}
+
 // recycleExact serves an allocation by recycling the lowest-score free
 // pointer of the exact size, invalidating its cache entry.
 func (m *Manager) recycleExact(size int64, height int, computeCost float64) *Pointer {

@@ -1,0 +1,61 @@
+package runtime
+
+import (
+	"testing"
+
+	"memphis/internal/data"
+	"memphis/internal/ir"
+)
+
+// TestContextCloseReleasesBackends runs a multi-backend program (large
+// enough for Spark compilation, with a GPU-placed chain) and checks Close
+// returns every simulated resource: device pointers, cluster blocks and
+// broadcasts, and the lineage cache.
+func TestContextCloseReleasesBackends(t *testing.T) {
+	conf := testConfig(ReuseMemphis)
+	conf.Compiler.GPUEnabled = true
+	conf.Compiler.GPUMinCells = 16
+	ctx := New(conf)
+	// 256x64 = 128KB > the 64KB op budget, so X's operations distribute.
+	ctx.BindHost("X", data.RandNorm(256, 64, 0, 1, 9))
+	ctx.BindHost("S", data.RandNorm(16, 16, 0, 1, 10))
+	p := ir.NewProgram()
+	p.Main = []ir.Block{ir.BB(
+		ir.Assign("G", ir.TSMM(ir.Var("X"))),
+		ir.Assign("r", ir.Sum(ir.Var("G"))),
+		ir.Assign("out", ir.ReLU(ir.MatMul(ir.Var("S"), ir.Var("S")))),
+		ir.Assign("acc", ir.Sum(ir.Var("out"))),
+	)}
+	if err := ctx.RunProgram(p); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.SPInsts == 0 || ctx.Stats.GPUInsts == 0 {
+		t.Fatalf("test needs all backends exercised: spark=%d gpu=%d",
+			ctx.Stats.SPInsts, ctx.Stats.GPUInsts)
+	}
+	if err := ctx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.Closed() {
+		t.Fatal("Closed() must report true")
+	}
+	if n := ctx.GM.LiveCount(); n != 0 {
+		t.Fatalf("%d GPU pointers still live after Close", n)
+	}
+	if n := ctx.GM.FreeCount(); n != 0 {
+		t.Fatalf("%d GPU pointers still pooled after Close", n)
+	}
+	if used := ctx.SC.BlockManager().Used(); used != 0 {
+		t.Fatalf("%d cluster bytes still cached after Close", used)
+	}
+	if n := ctx.Cache.NumEntries(); n != 0 {
+		t.Fatalf("%d lineage-cache entries survive Close", n)
+	}
+	// Idempotent, and the context refuses further work.
+	if err := ctx.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+	if err := ctx.RunProgram(p); err == nil {
+		t.Fatal("RunProgram after Close must error")
+	}
+}

@@ -92,6 +92,11 @@ type Config struct {
 	// leaves the process-wide setting untouched (default: GOMAXPROCS).
 	// Results and virtual times are bitwise-identical for every value.
 	Parallelism int
+
+	// ShareMinFlops is the flops floor for offering/looking up individual
+	// CP operator results in an attached shared cache (function outputs
+	// are always shared). Zero shares every cacheable CP result.
+	ShareMinFlops float64
 }
 
 // Stats counts runtime events.
@@ -111,6 +116,11 @@ type Stats struct {
 	GPUFallbacks int64
 	Collects     int64
 	D2HFetches   int64
+
+	// Shared-cache traffic (serving layer; zero without AttachShared).
+	SharedProbes int64
+	SharedHits   int64
+	SharedPuts   int64
 }
 
 // Context is the execution context: symbol table, backends, lineage map,
@@ -124,12 +134,25 @@ type Context struct {
 	LMap  *lineage.Map
 	Conf  Config
 
+	// Shared is the optional cross-session reuse level (serving layer),
+	// attached with AttachShared together with the Tenant identity.
+	Shared SharedCache
+	Tenant string
+
 	vars map[string]*Value
 	prog *ir.Program
+
+	// inputSigs records content checksums of host-bound inputs by name,
+	// and leafMemo caches per-item read-leaf name sets; both feed the
+	// content signatures that make cross-tenant sharing sound.
+	inputSigs map[string]uint64
+	leafMemo  map[*lineage.Item][]string
 
 	// Current block header parameters (set per basic block).
 	delayFactor  int
 	storageLevel spark.StorageLevel
+
+	closed bool
 
 	Stats Stats
 }
@@ -205,6 +228,9 @@ func (ctx *Context) BindHost(name string, m *data.Matrix) {
 	if ctx.tracing() {
 		ctx.LMap.TraceItem(name, lineage.NewLeaf("read", name))
 	}
+	if ctx.Shared != nil {
+		ctx.inputSigs[name] = m.Checksum()
+	}
 }
 
 // BindRDD binds a distributed input.
@@ -270,6 +296,35 @@ func (ctx *Context) operand(name string) (*Value, error) {
 	}
 	return v, nil
 }
+
+// Close releases everything the context holds in the simulated backends:
+// variable bindings (returning GPU references), the lineage cache's Spark
+// and GPU objects, all device pointers, and all cluster storage and
+// broadcasts. Without Close, sessions leak simulated device and cluster
+// memory for the life of the process. Close is idempotent; running programs
+// or binding inputs after Close returns an error from RunProgram.
+func (ctx *Context) Close() error {
+	if ctx.closed {
+		return nil
+	}
+	ctx.closed = true
+	for name := range ctx.vars {
+		ctx.removeVar(name)
+	}
+	// Clear before GM.Close so recycle callbacks find no entries (no
+	// device-to-host eviction is charged during teardown).
+	ctx.Cache.Clear()
+	if ctx.GM != nil {
+		ctx.GM.Close()
+	}
+	if ctx.SC != nil {
+		ctx.SC.Shutdown()
+	}
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (ctx *Context) Closed() bool { return ctx.closed }
 
 // evictGPUToHost is the device-to-host eviction hook invoked by the GPU
 // memory manager when recycling cannot satisfy an allocation: live cached

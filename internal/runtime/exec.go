@@ -214,6 +214,19 @@ func (ctx *Context) Execute(inst *compiler.Instruction) error {
 				return nil
 			}
 		}
+		// Second level: the cross-session shared cache (serving layer).
+		// A hit installs the value locally so later probes stay session-
+		// local, keyed under this session's item.
+		if inst.Backend == core.BackendCP && ctx.wantShare(inst.Flops) {
+			if m, computeCost, ok := ctx.shareProbe(li); ok {
+				ctx.Cache.PutCP(li, m, computeCost, 1, false, false)
+				v := NewHostValue(m)
+				v.Lin = li
+				ctx.setVar(inst.Output(), v)
+				ctx.Stats.Reused++
+				return nil
+			}
+		}
 	}
 	v, err := ctx.execOp(inst)
 	if err != nil {
@@ -268,6 +281,9 @@ func (ctx *Context) putValue(inst *compiler.Instruction, li *lineage.Item, v *Va
 	case v.M != nil:
 		cost := costs.Compute(inst.Flops, ctx.Model.CPUFlops)
 		ctx.Cache.PutCP(li, v.M, cost, ctx.delay(), false, false)
+		if ctx.wantShare(inst.Flops) {
+			ctx.sharePublish(li, v.M, cost)
+		}
 	}
 }
 

@@ -14,6 +14,9 @@ import (
 // recompiled against the current variable sizes, then executed instruction
 // by instruction through the reuse path.
 func (ctx *Context) RunProgram(p *ir.Program) error {
+	if ctx.closed {
+		return fmt.Errorf("runtime: context is closed")
+	}
 	ctx.prog = p
 	return ctx.runBlocks(p.Main)
 }
@@ -161,21 +164,26 @@ func (ctx *Context) execCall(inst *compiler.Instruction) error {
 		for i, ret := range fn.Returns {
 			outKeys[i] = lineage.NewItem("fnout", fnName+"#"+ret, argLis...)
 		}
-		// Probe all outputs; reuse only if the whole call is covered.
+		// Probe all outputs; reuse only if the whole call is covered. On a
+		// local miss the shared level (serving layer) is consulted and a
+		// hit is installed locally, so whole calls reuse across tenants.
 		vals := make([]*Value, len(outKeys))
 		allHit := true
 		for i, key := range outKeys {
-			e, hit := ctx.Cache.Probe(key)
-			if !hit {
-				allHit = false
-				break
+			if e, hit := ctx.Cache.Probe(key); hit {
+				if v := ctx.valueFromEntry(e); v != nil {
+					vals[i] = v
+					continue
+				}
 			}
-			v := ctx.valueFromEntry(e)
-			if v == nil {
-				allHit = false
-				break
+			if m, computeCost, ok := ctx.shareProbe(key); ok {
+				ctx.Cache.PutCP(key, m, computeCost, 1, false, true)
+				v := NewHostValue(m)
+				vals[i] = v
+				continue
 			}
-			vals[i] = v
+			allHit = false
+			break
 		}
 		if allHit {
 			ctx.Stats.FuncReuses++
@@ -256,6 +264,7 @@ func (ctx *Context) execCall(inst *compiler.Instruction) error {
 				e = ctx.Cache.PutRDD(outKeys[i], v.RDD, v.children, v.bcasts, cost, 1, ctx.storageLevel)
 			case v.M != nil:
 				e = ctx.Cache.PutCP(outKeys[i], v.M, cost, 1, false, true)
+				ctx.sharePublish(outKeys[i], v.M, cost)
 			case v.HasGPU():
 				e = ctx.Cache.PutGPU(outKeys[i], v.GPU, cost, 1)
 			}

@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"memphis/internal/data"
+	"memphis/internal/ir"
+	"memphis/internal/lineage"
+	"memphis/internal/runtime"
+	"memphis/internal/workloads"
+)
+
+// hcvWorkload builds a small grid-search cross-validation pipeline; fresh per
+// server because program rewrites mutate the ir.Program in place.
+func hcvWorkload() *workloads.Workload {
+	return workloads.HCV(64, 8, 2, []float64{1e-3, 1e-2, 1e-1}, 7)
+}
+
+// runPair submits the same workload for two tenants (fresh inputs each, same
+// seed, so contents are identical) and returns both results plus the final
+// snapshot. When concurrent is false the first request completes before the
+// second is even submitted — the serial-replay baseline.
+func runPair(t *testing.T, workers int, sched SchedPolicy, concurrent bool) (*Result, *Result, Snapshot) {
+	t.Helper()
+	conf := DefaultConfig()
+	conf.Workers = workers
+	conf.Sched = sched
+	srv := New(conf)
+	defer srv.Close()
+	w := hcvWorkload()
+	fa, err := srv.Submit("alice", w.Prog, SubmitOptions{Inputs: w.HostInputs(), Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !concurrent {
+		if _, err := fa.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb, err := srv.Submit("bob", w.Prog, SubmitOptions{Inputs: w.HostInputs(), Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, errA := fa.Wait()
+	rb, errB := fb.Wait()
+	if errA != nil {
+		t.Fatal(errA)
+	}
+	if errB != nil {
+		t.Fatal(errB)
+	}
+	srv.Close()
+	return ra, rb, srv.Snapshot()
+}
+
+// TestCrossTenantReuseDeterministic is the tentpole acceptance test: two
+// tenants submitting the same program concurrently must report exactly the
+// per-session virtual times of a serial replay, with the second tenant
+// hitting the shared cache.
+func TestCrossTenantReuseDeterministic(t *testing.T) {
+	serA, serB, _ := runPair(t, 1, SchedFIFO, false)
+	conA, conB, snap := runPair(t, 4, SchedFIFO, true)
+
+	if conA.VirtualSeconds != serA.VirtualSeconds {
+		t.Fatalf("first tenant: concurrent vtime %v != serial %v", conA.VirtualSeconds, serA.VirtualSeconds)
+	}
+	if conB.VirtualSeconds != serB.VirtualSeconds {
+		t.Fatalf("second tenant: concurrent vtime %v != serial %v", conB.VirtualSeconds, serB.VirtualSeconds)
+	}
+	if conB.Stats.SharedHits == 0 {
+		t.Fatal("second tenant must hit the shared cache")
+	}
+	if conB.VirtualSeconds >= conA.VirtualSeconds {
+		t.Fatalf("cross-tenant reuse must shorten the second request: %v >= %v",
+			conB.VirtualSeconds, conA.VirtualSeconds)
+	}
+	if snap.Shared.CrossTenantHits == 0 || snap.Shared.CrossTenantHitRatio <= 0 {
+		t.Fatalf("expected cross-tenant hits, got %+v", snap.Shared)
+	}
+	if !data.AllClose(conA.Values["best"], serA.Values["best"], 0) ||
+		!data.AllClose(conB.Values["best"], serB.Values["best"], 0) {
+		t.Fatal("concurrent results must be bitwise identical to serial results")
+	}
+	if !data.AllClose(conA.Values["best"], conB.Values["best"], 0) {
+		t.Fatal("both tenants computed the same program over the same data")
+	}
+
+	// Weighted-fair dispatch reorders only non-conflicting work, so the
+	// virtual times are unchanged.
+	wfqA, wfqB, _ := runPair(t, 4, SchedWFQ, true)
+	if wfqA.VirtualSeconds != serA.VirtualSeconds || wfqB.VirtualSeconds != serB.VirtualSeconds {
+		t.Fatalf("WFQ vtimes (%v, %v) != serial (%v, %v)",
+			wfqA.VirtualSeconds, wfqB.VirtualSeconds, serA.VirtualSeconds, serB.VirtualSeconds)
+	}
+}
+
+// ridgeProg is an inline (function-free) ridge grid over X and y.
+func ridgeProg() *ir.Program {
+	p := ir.NewProgram()
+	p.Main = []ir.Block{
+		ir.For("lambda", []float64{0.1, 0.5}, ir.BB(
+			ir.Assign("G", ir.TSMM(ir.Var("X"))),
+			ir.Assign("b", ir.MatMul(ir.T(ir.Var("X")), ir.Var("y"))),
+			ir.Assign("beta", ir.Solve(ir.Add(ir.Var("G"), ir.Var("lambda")), ir.Var("b"))),
+		)),
+	}
+	return p
+}
+
+func ridgeInputs(seed int64) map[string]*data.Matrix {
+	return map[string]*data.Matrix{
+		"X": data.RandNorm(96, 6, 0, 1, seed),
+		"y": data.RandNorm(96, 1, 0, 1, seed+100),
+	}
+}
+
+// TestDifferentContentNeverAliases is the soundness test: two tenants bind
+// DIFFERENT data under the SAME variable names. Content signatures keep their
+// entries apart — no cross-tenant hits, and each tenant's answer matches its
+// own single-tenant run. Because their input sets do not overlap, the
+// requests genuinely run in parallel.
+func TestDifferentContentNeverAliases(t *testing.T) {
+	expected := make(map[int64]*data.Matrix)
+	for _, seed := range []int64{1, 2} {
+		conf := DefaultConfig()
+		conf.Workers = 1
+		solo := New(conf)
+		f, err := solo.Submit("solo", ridgeProg(), SubmitOptions{Inputs: ridgeInputs(seed), Fetch: []string{"beta"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[seed] = r.Values["beta"]
+		solo.Close()
+	}
+
+	conf := DefaultConfig()
+	conf.Workers = 2
+	srv := New(conf)
+	defer srv.Close()
+	prog := ridgeProg()
+	type sub struct {
+		fut  *Future
+		seed int64
+	}
+	var subs []sub
+	for round := 0; round < 3; round++ {
+		for i, seed := range []int64{1, 2} {
+			f, err := srv.Submit(fmt.Sprintf("tenant-%d", i), prog,
+				SubmitOptions{Inputs: ridgeInputs(seed), Fetch: []string{"beta"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs = append(subs, sub{f, seed})
+		}
+	}
+	for _, s := range subs {
+		r, err := s.fut.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !data.AllClose(r.Values["beta"], expected[s.seed], 0) {
+			t.Fatalf("tenant with seed %d got a wrong beta: shared entries aliased", s.seed)
+		}
+	}
+	srv.Close()
+	snap := srv.Snapshot()
+	if snap.Shared.CrossTenantHits != 0 {
+		t.Fatalf("identical names over different data must never alias: %d cross hits",
+			snap.Shared.CrossTenantHits)
+	}
+	// Each tenant's own repeated submissions do reuse its own entries.
+	if snap.Shared.Hits == 0 {
+		t.Fatal("repeated identical requests should hit the shared cache")
+	}
+}
+
+// TestServerRaceSoakManyTenants exercises the acceptance criterion that
+// `go test -race ./internal/serve/...` passes with at least 8 concurrent
+// tenants: 10 tenants in two input groups hammer an 8-worker pool.
+func TestServerRaceSoakManyTenants(t *testing.T) {
+	conf := DefaultConfig()
+	conf.Workers = 8
+	conf.Shared.Budget = 32 << 20
+	conf.Shared.TenantBudget = 4 << 20
+	srv := New(conf)
+	defer srv.Close()
+
+	const tenants, perTenant = 10, 3
+	groups := []*workloads.Workload{
+		workloads.L2SVMMicro(48, 6, 2, []float64{0.1, 0.2}, 11),
+		workloads.L2SVMMicro(48, 6, 2, []float64{0.1, 0.2}, 22),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants*perTenant)
+	for i := 0; i < tenants; i++ {
+		w := groups[i%len(groups)]
+		tenant := fmt.Sprintf("tenant-%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perTenant; j++ {
+				f, err := srv.Submit(tenant, w.Prog, SubmitOptions{Inputs: w.HostInputs(), Fetch: []string{"acc"}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := f.Wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	srv.Close()
+	snap := srv.Snapshot()
+	if snap.Completed != tenants*perTenant || snap.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want %d/0", snap.Completed, snap.Failed, tenants*perTenant)
+	}
+	// Five tenants share each input group, so cross-tenant reuse must occur.
+	if snap.Shared.CrossTenantHits == 0 {
+		t.Fatal("tenants in the same input group must reuse each other's results")
+	}
+	if snap.Shared.BytesStored > conf.Shared.Budget {
+		t.Fatalf("shared cache overran its budget: %d > %d", snap.Shared.BytesStored, conf.Shared.Budget)
+	}
+}
+
+func trivialProg() *ir.Program {
+	p := ir.NewProgram()
+	p.Main = []ir.Block{ir.BB(ir.Assign("z", ir.Lit(1)))}
+	return p
+}
+
+// TestAdmissionControl holds the single worker hostage with a blocking Bind,
+// then verifies the per-tenant and queue-depth rejections.
+func TestAdmissionControl(t *testing.T) {
+	conf := DefaultConfig()
+	conf.Workers = 1
+	conf.MaxQueue = 3
+	conf.MaxPerTenant = 2
+	srv := New(conf)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	gate, err := srv.Submit("gate", trivialProg(), SubmitOptions{
+		Bind: func(*runtime.Context) { close(started); <-release },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the gate request is running, not queued
+
+	var futs []*Future
+	for i := 0; i < 2; i++ {
+		f, err := srv.Submit("t", trivialProg(), SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	if _, err := srv.Submit("t", trivialProg(), SubmitOptions{}); !errors.Is(err, ErrTenantLimit) {
+		t.Fatalf("third in-flight request for one tenant: got %v, want ErrTenantLimit", err)
+	}
+	f, err := srv.Submit("u", trivialProg(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs = append(futs, f)
+	if _, err := srv.Submit("v", trivialProg(), SubmitOptions{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("submit into a full queue: got %v, want ErrQueueFull", err)
+	}
+
+	close(release)
+	if _, err := gate.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+	if _, err := srv.Submit("t", trivialProg(), SubmitOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: got %v, want ErrClosed", err)
+	}
+	if snap := srv.Snapshot(); snap.Rejected != 2 {
+		t.Fatalf("rejected=%d, want 2", snap.Rejected)
+	}
+}
+
+// TestSharedCacheTenantBudgetEviction publishes past a tenant's budget and
+// checks FIFO (oldest-first) eviction confined to that tenant.
+func TestSharedCacheTenantBudgetEviction(t *testing.T) {
+	sc := NewSharedCache(SharedConfig{Shards: 4, Budget: 64 << 10, TenantBudget: 8 << 10})
+	m := data.RandNorm(32, 16, 0, 1, 3) // 4 KB
+	items := make([]*lineage.Item, 6)
+	for i := range items {
+		items[i] = lineage.NewItem("tsmm", "", lineage.NewLeaf("read", fmt.Sprintf("X%d", i)))
+		if _, stored := sc.Publish("a", items[i], uint64(i+1), m, 1.0); !stored {
+			t.Fatalf("publish %d rejected", i)
+		}
+	}
+	st := sc.StatsSnapshot()
+	if got := st.PerTenant["a"].Bytes; got > 8<<10 {
+		t.Fatalf("tenant bytes %d exceed the 8KB budget", got)
+	}
+	if st.Evictions != 4 || sc.BytesStored() != 8<<10 || st.Entries != 2 {
+		t.Fatalf("evictions=%d bytes=%d entries=%d, want 4/8192/2", st.Evictions, sc.BytesStored(), st.Entries)
+	}
+	if _, _, _, ok := sc.Probe("a", items[5], 6); !ok {
+		t.Fatal("newest entry must survive")
+	}
+	if _, _, _, ok := sc.Probe("a", items[0], 1); ok {
+		t.Fatal("oldest entry must be evicted first")
+	}
+
+	// A second tenant hitting the survivor counts as a cross-tenant hit and
+	// receives a private clone.
+	got, cost, charge, ok := sc.Probe("b", items[5], 6)
+	if !ok || cost != 1.0 {
+		t.Fatalf("cross-tenant probe: ok=%v cost=%v", ok, cost)
+	}
+	if charge <= sc.Config().Model.Probe {
+		t.Fatal("a hit must also charge the transfer of the object")
+	}
+	if got == m || &got.Data[0] == &m.Data[0] {
+		t.Fatal("probe must return a private clone, never shared storage")
+	}
+	if !data.AllClose(got, m, 0) {
+		t.Fatal("clone content mismatch")
+	}
+	if st := sc.StatsSnapshot(); st.CrossTenantHits != 1 {
+		t.Fatalf("cross hits=%d, want 1", st.CrossTenantHits)
+	}
+
+	// Objects larger than the tenant budget are refused outright.
+	big := data.RandNorm(64, 32, 0, 1, 4) // 16 KB
+	if _, stored := sc.Publish("a", lineage.NewLeaf("read", "big"), 99, big, 1.0); stored {
+		t.Fatal("oversized publish must be refused")
+	}
+
+	sc.Clear()
+	if sc.BytesStored() != 0 || sc.StatsSnapshot().Entries != 0 {
+		t.Fatal("Clear must drop everything")
+	}
+}
+
+// TestSharedCacheGlobalBudget overcommits tenant budgets and checks the
+// global backstop evicts the globally oldest entry.
+func TestSharedCacheGlobalBudget(t *testing.T) {
+	sc := NewSharedCache(SharedConfig{Shards: 2, Budget: 8 << 10, TenantBudget: 8 << 10})
+	m := data.RandNorm(32, 16, 0, 1, 5) // 4 KB
+	item := lineage.NewItem("tsmm", "", lineage.NewLeaf("read", "X"))
+	for i, tenant := range []string{"a", "b", "c"} {
+		if _, stored := sc.Publish(tenant, item, uint64(i+1), m, 1.0); !stored {
+			t.Fatalf("publish by %s rejected", tenant)
+		}
+	}
+	if sc.BytesStored() > 8<<10 {
+		t.Fatalf("global budget overrun: %d", sc.BytesStored())
+	}
+	if _, _, _, ok := sc.Probe("a", item, 1); ok {
+		t.Fatal("globally oldest entry must have been evicted")
+	}
+	for i, tenant := range []string{"b", "c"} {
+		if _, _, _, ok := sc.Probe(tenant, item, uint64(i+2)); !ok {
+			t.Fatalf("%s's entry must survive", tenant)
+		}
+	}
+}

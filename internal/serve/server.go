@@ -1,0 +1,500 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/data"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+	"memphis/internal/spark"
+)
+
+// SchedPolicy selects how queued requests are dispatched to workers.
+type SchedPolicy int
+
+const (
+	// SchedFIFO dispatches strictly by ticket (submission) order among
+	// eligible requests.
+	SchedFIFO SchedPolicy = iota
+	// SchedWFQ is weighted fair queueing: among eligible requests, the
+	// tenant with the least accumulated virtual service per weight runs
+	// next (ties break by ticket). Conflicting requests still serialize
+	// in ticket order, so determinism is unaffected.
+	SchedWFQ
+)
+
+// Config assembles the serving layer.
+type Config struct {
+	// Runtime is the per-request session template: every request executes
+	// on a fresh runtime.Context built from it (own virtual clock, own
+	// session-local cache), attached to the shared cache.
+	Runtime runtime.Config
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// Sched selects FIFO or weighted-fair dispatch.
+	Sched SchedPolicy
+	// MaxQueue bounds the number of queued requests; Submit rejects with
+	// ErrQueueFull beyond it (default 1024).
+	MaxQueue int
+	// MaxPerTenant bounds one tenant's queued+running requests; Submit
+	// rejects with ErrTenantLimit beyond it (default 64).
+	MaxPerTenant int
+	// Rewrite applies MEMPHIS's program-level rewrites (auto-tuning,
+	// checkpoint and eviction injection) exactly once per program object
+	// before its first execution; programs may then be shared by many
+	// concurrent requests. Enabled by DefaultConfig.
+	Rewrite bool
+	// Shared sizes the cross-tenant cache.
+	Shared SharedConfig
+}
+
+// DefaultConfig mirrors memphis.Options{Reuse: ReuseFull} for each request
+// session, with a CPU-only backend set (serving adds no GPU by default).
+func DefaultConfig() Config {
+	comp := compiler.DefaultConfig()
+	comp.OpMemBudget = 7 << 20
+	comp.Async = true
+	comp.MaxParallelize = true
+	comp.CheckpointInjection = true
+	return Config{
+		Runtime: runtime.Config{
+			Mode:     runtime.ReuseMemphis,
+			Compiler: comp,
+			Cache:    core.DefaultConfig(),
+			Spark:    spark.DefaultConfig(),
+		},
+		Workers:      4,
+		MaxQueue:     1024,
+		MaxPerTenant: 64,
+		Rewrite:      true,
+	}
+}
+
+// Submission errors (admission control).
+var (
+	ErrClosed      = errors.New("serve: server closed")
+	ErrQueueFull   = errors.New("serve: request queue full")
+	ErrTenantLimit = errors.New("serve: tenant request limit reached")
+)
+
+// SubmitOptions carries a request's inputs and result selection.
+type SubmitOptions struct {
+	// Inputs are host matrices bound (in sorted name order) into the
+	// request's fresh session before execution. Their checksums define the
+	// request's conflict keys: requests sharing any (name, content) pair
+	// serialize in ticket order. Inputs must not be mutated while the
+	// request is in flight.
+	Inputs map[string]*data.Matrix
+	// Bind, when set, runs after Inputs are bound and may install
+	// additional variables. Because its effects are opaque, the request
+	// conservatively conflicts with every other request.
+	Bind func(*runtime.Context)
+	// Fetch lists variables to materialize to the host in the Result.
+	Fetch []string
+	// Weight is the tenant's fair-share weight under SchedWFQ (default 1).
+	Weight float64
+}
+
+// Result is one completed request.
+type Result struct {
+	Tenant string `json:"tenant"`
+	Ticket uint64 `json:"ticket"`
+	// VirtualSeconds is the request's deterministic simulated latency on
+	// its private session clock — independent of worker interleaving.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	// WallSeconds is the real execution time (throughput accounting only).
+	WallSeconds float64                 `json:"wall_seconds"`
+	Values      map[string]*data.Matrix `json:"-"`
+	Stats       runtime.Stats           `json:"stats"`
+	Cache       core.Stats              `json:"-"`
+}
+
+// request is the queue element behind a Future.
+type request struct {
+	tenant string
+	prog   *ir.Program
+	opts   SubmitOptions
+	ticket uint64
+	keys   []uint64
+	global bool
+	done   chan struct{}
+	res    *Result
+	err    error
+}
+
+// Future resolves to a request's Result.
+type Future struct{ req *request }
+
+// Done is closed when the request completes.
+func (f *Future) Done() <-chan struct{} { return f.req.done }
+
+// Wait blocks for completion and returns the result or execution error.
+func (f *Future) Wait() (*Result, error) {
+	<-f.req.done
+	return f.req.res, f.req.err
+}
+
+// Server owns the shared cache, the request queue, and the worker pool.
+type Server struct {
+	conf   Config
+	shared *SharedCache
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        []*request
+	running      map[uint64]int  // conflict key -> running holders
+	runningGlob  bool            // a Bind-carrying request is running
+	runningCount int             // requests currently executing
+	tenantActive map[string]bool // tenant has a running request
+	tenantLoad   map[string]int  // queued+running per tenant (admission)
+	service      map[string]float64
+	weight       map[string]float64
+	rewritten    map[*ir.Program]struct{}
+	nextTicket   uint64
+	closed       bool
+
+	submitted  int64
+	completed  int64
+	failed     int64
+	rejected   int64
+	vtimeTotal float64
+	start      time.Time
+
+	wg sync.WaitGroup
+}
+
+// New starts the server's workers.
+func New(conf Config) *Server {
+	if conf.Workers <= 0 {
+		conf.Workers = 4
+	}
+	if conf.MaxQueue <= 0 {
+		conf.MaxQueue = 1024
+	}
+	if conf.MaxPerTenant <= 0 {
+		conf.MaxPerTenant = 64
+	}
+	if conf.Shared.Model == nil {
+		conf.Shared.Model = conf.Runtime.Model
+	}
+	s := &Server{
+		conf:         conf,
+		shared:       NewSharedCache(conf.Shared),
+		running:      make(map[uint64]int),
+		tenantActive: make(map[string]bool),
+		tenantLoad:   make(map[string]int),
+		service:      make(map[string]float64),
+		weight:       make(map[string]float64),
+		rewritten:    make(map[*ir.Program]struct{}),
+		start:        time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(conf.Workers)
+	for i := 0; i < conf.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Shared exposes the cross-tenant cache (interactive sessions attach to it
+// via runtime.Context.AttachShared).
+func (s *Server) Shared() *SharedCache { return s.shared }
+
+// conflictKeys hashes each (name, content) input pair. Input-less requests
+// get the sentinel key 0 so they serialize among themselves: their cacheable
+// sub-programs have no read leaves and are excluded from sharing, but the
+// sentinel keeps the contract simple and future-proof.
+func conflictKeys(inputs map[string]*data.Matrix) []uint64 {
+	if len(inputs) == 0 {
+		return []uint64{0}
+	}
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	keys := make([]uint64, 0, len(names))
+	var buf [8]byte
+	for _, n := range names {
+		h := fnv.New64a()
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+		sum := inputs[n].Checksum()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(sum >> (8 * i))
+		}
+		h.Write(buf[:])
+		keys = append(keys, h.Sum64())
+	}
+	return keys
+}
+
+// Submit enqueues a program for a tenant and returns its Future. Admission
+// control rejects when the queue or the tenant's in-flight allowance is
+// exhausted, so a flooding tenant cannot starve the pool.
+func (s *Server) Submit(tenant string, prog *ir.Program, opts SubmitOptions) (*Future, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if len(s.queue) >= s.conf.MaxQueue {
+		s.rejected++
+		return nil, ErrQueueFull
+	}
+	if s.tenantLoad[tenant] >= s.conf.MaxPerTenant {
+		s.rejected++
+		return nil, ErrTenantLimit
+	}
+	// Program rewrites mutate the ir.Program and are not idempotent; apply
+	// them exactly once per program object, before any worker can run it.
+	if s.conf.Rewrite && s.conf.Runtime.Mode == runtime.ReuseMemphis {
+		if _, done := s.rewritten[prog]; !done {
+			compiler.AutoTune(prog)
+			compiler.InjectLoopCheckpoints(prog)
+			compiler.InjectEvictions(prog)
+			s.rewritten[prog] = struct{}{}
+		}
+	}
+	w := opts.Weight
+	if w <= 0 {
+		w = 1
+	}
+	s.weight[tenant] = w
+	s.nextTicket++
+	req := &request{
+		tenant: tenant,
+		prog:   prog,
+		opts:   opts,
+		ticket: s.nextTicket,
+		keys:   conflictKeys(opts.Inputs),
+		global: opts.Bind != nil,
+		done:   make(chan struct{}),
+	}
+	s.queue = append(s.queue, req)
+	s.tenantLoad[tenant]++
+	s.submitted++
+	s.cond.Broadcast()
+	return &Future{req: req}, nil
+}
+
+// pickLocked selects the next runnable request and removes it from the
+// queue (caller holds s.mu). A request is eligible when its tenant has no
+// earlier work (queued or running) and it conflicts with nothing running or
+// queued ahead of it — so conflicting requests always execute in ticket
+// order, which is what makes virtual latencies interleaving-independent.
+func (s *Server) pickLocked() *request {
+	var best *request
+	bestIdx := -1
+	bestScore := 0.0
+	earlier := make(map[uint64]struct{})
+	earlierAny := false
+	earlierGlobal := false
+	seenTenant := make(map[string]bool)
+	for i, r := range s.queue {
+		eligible := !s.tenantActive[r.tenant] && !seenTenant[r.tenant]
+		if eligible {
+			if r.global {
+				eligible = s.runningCount == 0 && !earlierAny
+			} else if s.runningGlob || earlierGlobal {
+				eligible = false
+			} else {
+				for _, k := range r.keys {
+					if _, ok := s.running[k]; ok {
+						eligible = false
+						break
+					}
+					if _, ok := earlier[k]; ok {
+						eligible = false
+						break
+					}
+				}
+			}
+		}
+		if eligible {
+			if s.conf.Sched == SchedFIFO {
+				best, bestIdx = r, i
+				break
+			}
+			score := s.service[r.tenant]
+			if best == nil || score < bestScore {
+				best, bestIdx, bestScore = r, i, score
+			}
+		}
+		seenTenant[r.tenant] = true
+		earlierAny = true
+		if r.global {
+			earlierGlobal = true
+		} else {
+			for _, k := range r.keys {
+				earlier[k] = struct{}{}
+			}
+		}
+	}
+	if best != nil {
+		s.queue = append(s.queue[:bestIdx], s.queue[bestIdx+1:]...)
+	}
+	return best
+}
+
+// worker is the pool loop: pick, mark conflicts running, execute on a fresh
+// session, account, release.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		var req *request
+		for {
+			if req = s.pickLocked(); req != nil {
+				break
+			}
+			if s.closed && len(s.queue) == 0 {
+				s.mu.Unlock()
+				s.cond.Broadcast()
+				return
+			}
+			s.cond.Wait()
+		}
+		s.tenantActive[req.tenant] = true
+		s.runningCount++
+		if req.global {
+			s.runningGlob = true
+		} else {
+			for _, k := range req.keys {
+				s.running[k]++
+			}
+		}
+		s.mu.Unlock()
+
+		s.execute(req)
+
+		s.mu.Lock()
+		s.tenantActive[req.tenant] = false
+		s.tenantLoad[req.tenant]--
+		s.runningCount--
+		if req.global {
+			s.runningGlob = false
+		} else {
+			for _, k := range req.keys {
+				if s.running[k]--; s.running[k] <= 0 {
+					delete(s.running, k)
+				}
+			}
+		}
+		if req.res != nil {
+			s.service[req.tenant] += req.res.VirtualSeconds / s.weight[req.tenant]
+			s.vtimeTotal += req.res.VirtualSeconds
+		}
+		if req.err != nil {
+			s.failed++
+		}
+		s.completed++
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		close(req.done)
+	}
+}
+
+// execute runs one request on a fresh session attached to the shared cache.
+// The session is torn down afterwards (Close frees GPU pointers, unpersists
+// RDDs and broadcasts), so per-request state never leaks across tenants.
+func (s *Server) execute(req *request) {
+	defer func() {
+		if p := recover(); p != nil {
+			req.err = fmt.Errorf("serve: request %d (%s): panic: %v", req.ticket, req.tenant, p)
+		}
+	}()
+	start := time.Now()
+	ctx := runtime.New(s.conf.Runtime)
+	defer ctx.Close()
+	ctx.AttachShared(s.shared, req.tenant)
+	names := make([]string, 0, len(req.opts.Inputs))
+	for n := range req.opts.Inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ctx.BindHost(n, req.opts.Inputs[n])
+	}
+	if req.opts.Bind != nil {
+		req.opts.Bind(ctx)
+	}
+	if err := ctx.RunProgram(req.prog); err != nil {
+		req.err = fmt.Errorf("serve: request %d (%s): %w", req.ticket, req.tenant, err)
+		return
+	}
+	values := make(map[string]*data.Matrix, len(req.opts.Fetch))
+	for _, n := range req.opts.Fetch {
+		if v := ctx.Var(n); v != nil {
+			values[n] = ctx.EnsureHostValue(v)
+		}
+	}
+	req.res = &Result{
+		Tenant:         req.tenant,
+		Ticket:         req.ticket,
+		VirtualSeconds: ctx.Clock.Now(),
+		WallSeconds:    time.Since(start).Seconds(),
+		Values:         values,
+		Stats:          ctx.Stats,
+		Cache:          ctx.Cache.Stats,
+	}
+}
+
+// Snapshot is the monitoring surface of the server.
+type Snapshot struct {
+	QueueDepth int   `json:"queue_depth"`
+	Running    int   `json:"running"`
+	Submitted  int64 `json:"submitted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Rejected   int64 `json:"rejected"`
+	// WallSeconds and Throughput are real-time aggregates; virtual times
+	// stay per-session and deterministic.
+	WallSeconds             float64     `json:"wall_seconds"`
+	Throughput              float64     `json:"throughput_rps"`
+	AggregateVirtualSeconds float64     `json:"aggregate_virtual_seconds"`
+	Shared                  SharedStats `json:"shared"`
+}
+
+// Snapshot returns current queue, throughput, and shared-cache statistics.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		QueueDepth:              len(s.queue),
+		Running:                 s.runningCount,
+		Submitted:               s.submitted,
+		Completed:               s.completed,
+		Failed:                  s.failed,
+		Rejected:                s.rejected,
+		WallSeconds:             time.Since(s.start).Seconds(),
+		AggregateVirtualSeconds: s.vtimeTotal,
+	}
+	s.mu.Unlock()
+	if snap.WallSeconds > 0 {
+		snap.Throughput = float64(snap.Completed) / snap.WallSeconds
+	}
+	snap.Shared = s.shared.StatsSnapshot()
+	return snap
+}
+
+// Close stops admitting requests, drains the queue, and waits for all
+// workers to finish. The shared cache remains readable for Snapshot.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}

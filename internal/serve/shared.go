@@ -1,0 +1,424 @@
+// Package serve is MEMPHIS's multi-tenant serving layer: a request queue
+// and worker pool executing programs from many tenants against one shared,
+// concurrency-safe lineage cache, so identical sub-programs submitted by
+// different tenants reuse each other's results (the paper's holistic-reuse
+// claim, §3.3/§6, applied across sessions instead of within one).
+//
+// Soundness. Session-level lineage keys input reads by variable NAME only,
+// which two tenants may bind to different data. The shared level therefore
+// keys every entry by (lineage item, content signature), where the
+// signature folds the checksums of all read-leaf inputs the item depends on
+// (runtime.Context.shareSig). Identical names with different data produce
+// different keys and never alias.
+//
+// Determinism. Each request runs on a fresh session with its own virtual
+// clock; all shared-cache costs are charged from the analytic model, so a
+// request's virtual latency depends only on which probes hit. Requests
+// whose input sets overlap (same name AND checksum) are serialized in
+// ticket order by the scheduler; requests that do not overlap can never
+// observe each other's entries (their signatures differ). Hence per-tenant
+// virtual times equal a serial replay in ticket order, regardless of worker
+// count — provided per-tenant budgets do not overcommit the global budget
+// (otherwise cross-tenant eviction couples latencies, and only throughput
+// remains comparable).
+package serve
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"memphis/internal/core"
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/lineage"
+	"memphis/internal/vtime"
+)
+
+// SharedConfig sizes the cross-tenant cache.
+type SharedConfig struct {
+	// Shards is the lock-shard count (default 8). Keys spread by lineage
+	// hash; one mutex per shard keeps REUSE/PUT/MAKE_SPACE race-free
+	// without a global lock.
+	Shards int
+	// Budget is the global byte budget across all tenants (default 64 MB).
+	Budget int64
+	// TenantBudget caps each tenant's resident bytes (default Budget/8).
+	// Keeping the sum of tenant budgets within Budget preserves the
+	// per-tenant determinism guarantee; overcommitting trades it for
+	// capacity.
+	TenantBudget int64
+	// Model overrides the cost model (nil uses costs.Default).
+	Model *costs.Model
+}
+
+func (c *SharedConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Budget <= 0 {
+		c.Budget = 64 << 20
+	}
+	if c.TenantBudget <= 0 {
+		c.TenantBudget = c.Budget / 8
+	}
+	if c.Model == nil {
+		c.Model = costs.Default()
+	}
+}
+
+// tenantAccount tracks one tenant's shared-cache footprint and activity.
+// All fields are atomics: stats are read concurrently by Snapshot while
+// workers publish.
+type tenantAccount struct {
+	usage     atomic.Int64
+	tick      atomic.Uint64 // per-tenant publish sequence (eviction order)
+	probes    atomic.Int64
+	hits      atomic.Int64
+	crossHits atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+}
+
+// entryMeta is the serving layer's per-entry bookkeeping alongside the
+// wrapped core.Cache entry.
+type entryMeta struct {
+	tenant      string
+	acct        *tenantAccount
+	key         *lineage.Item
+	size        int64
+	tick        uint64 // per-tenant publish order
+	gseq        uint64 // global publish order (overcommit eviction only)
+	computeCost float64
+}
+
+// shard is one lock-guarded slice of the shared cache: a private core.Cache
+// (on its own virtual clock, never a session's) plus serving metadata.
+type shard struct {
+	front *SharedCache
+	mu    sync.Mutex
+	cache *core.Cache
+	meta  map[*core.Entry]*entryMeta
+}
+
+// SharedCache is the sharded, concurrency-safe front over core.Cache that
+// implements runtime.SharedCache. It owns no session state: probes return
+// private matrix copies and virtual costs for the caller to charge.
+type SharedCache struct {
+	conf   SharedConfig
+	shards []*shard
+
+	accMu    sync.RWMutex
+	accounts map[string]*tenantAccount
+
+	bytesStored atomic.Int64
+	gseq        atomic.Uint64
+
+	probes    atomic.Int64
+	hits      atomic.Int64
+	crossHits atomic.Int64
+	misses    atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewSharedCache builds the shared level.
+func NewSharedCache(conf SharedConfig) *SharedCache {
+	conf.fill()
+	s := &SharedCache{
+		conf:     conf,
+		accounts: make(map[string]*tenantAccount),
+	}
+	s.shards = make([]*shard, conf.Shards)
+	for i := range s.shards {
+		sh := &shard{front: s, meta: make(map[*core.Entry]*entryMeta)}
+		// The inner cache never evicts on its own (budgets are enforced
+		// here, per tenant, before PutCP) and never spills: its clock is
+		// private, so any time it charged would be lost.
+		sh.cache = core.NewCache(vtime.New(), conf.Model, core.Config{
+			CPBudget:    1 << 62,
+			SparkBudget: 1,
+			GPUReuse:    false,
+			SpillToDisk: false,
+		}, nil, nil)
+		sh.cache.SetOnDrop(sh.onDrop)
+		s.shards[i] = sh
+	}
+	return s
+}
+
+// Config returns the active configuration.
+func (s *SharedCache) Config() SharedConfig { return s.conf }
+
+// shareKey derives the shared-level key: the session item wrapped with the
+// content signature, so equal sub-programs over equal data collide and
+// everything else does not. Lineage hashes are content-based, so keys agree
+// across sessions.
+func shareKey(item *lineage.Item, sig uint64) *lineage.Item {
+	return lineage.NewItem("xshare", strconv.FormatUint(sig, 16), item)
+}
+
+func (s *SharedCache) shardFor(key *lineage.Item) *shard {
+	return s.shards[key.Hash()%uint64(len(s.shards))]
+}
+
+// account returns (creating on first use) the tenant's account.
+func (s *SharedCache) account(tenant string) *tenantAccount {
+	s.accMu.RLock()
+	a := s.accounts[tenant]
+	s.accMu.RUnlock()
+	if a != nil {
+		return a
+	}
+	s.accMu.Lock()
+	defer s.accMu.Unlock()
+	if a = s.accounts[tenant]; a == nil {
+		a = &tenantAccount{}
+		s.accounts[tenant] = a
+	}
+	return a
+}
+
+// onDrop maintains usage accounting when an entry leaves a shard's cache;
+// it runs with the shard lock held (all removals happen under it).
+func (sh *shard) onDrop(e *core.Entry) {
+	md, ok := sh.meta[e]
+	if !ok {
+		return
+	}
+	delete(sh.meta, e)
+	sh.front.bytesStored.Add(-md.size)
+	md.acct.usage.Add(-md.size)
+	sh.front.evictions.Add(1)
+	md.acct.evictions.Add(1)
+}
+
+// Probe implements runtime.SharedCache: REUSE under the shard lock. A hit
+// returns a private clone (sessions must never share matrix storage) and
+// charges the probe plus a host-memory copy of the object.
+func (s *SharedCache) Probe(tenant string, item *lineage.Item, sig uint64) (*data.Matrix, float64, float64, bool) {
+	acct := s.account(tenant)
+	s.probes.Add(1)
+	acct.probes.Add(1)
+	key := shareKey(item, sig)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	e, hit := sh.cache.Probe(key)
+	if !hit {
+		sh.mu.Unlock()
+		s.misses.Add(1)
+		return nil, 0, s.conf.Model.Probe, false
+	}
+	m := sh.cache.Matrix(e).Clone()
+	md := sh.meta[e]
+	producer := ""
+	computeCost := 0.0
+	if md != nil {
+		producer = md.tenant
+		computeCost = md.computeCost
+	}
+	sh.mu.Unlock()
+	s.hits.Add(1)
+	acct.hits.Add(1)
+	if producer != tenant {
+		s.crossHits.Add(1)
+		acct.crossHits.Add(1)
+	}
+	charge := s.conf.Model.Probe + costs.Transfer(m.SizeBytes(), s.conf.Model.MemBW, 0)
+	return m, computeCost, charge, true
+}
+
+// Publish implements runtime.SharedCache: PUT with per-tenant budget
+// enforcement (MAKE_SPACE evicts the publisher's own oldest entries first,
+// keeping non-overlapping tenants decoupled) and a global-budget backstop.
+func (s *SharedCache) Publish(tenant string, item *lineage.Item, sig uint64, m *data.Matrix, computeCost float64) (float64, bool) {
+	charge := s.conf.Model.CachePut
+	size := m.SizeBytes()
+	if size > s.conf.TenantBudget || size > s.conf.Budget {
+		return charge, false
+	}
+	acct := s.account(tenant)
+	for acct.usage.Load()+size > s.conf.TenantBudget {
+		if !s.evictTenantOldest(acct) {
+			return charge, false
+		}
+	}
+	for s.bytesStored.Load()+size > s.conf.Budget {
+		if !s.evictGlobalOldest() {
+			return charge, false
+		}
+	}
+	key := shareKey(item, sig)
+	sh := s.shardFor(key)
+	stored := m.Clone()
+	sh.mu.Lock()
+	if sh.cache.Lookup(key) != nil {
+		sh.mu.Unlock()
+		return charge, false
+	}
+	e := sh.cache.PutCP(key, stored, computeCost, 1, false, false)
+	if e == nil {
+		sh.mu.Unlock()
+		return charge, false
+	}
+	sh.meta[e] = &entryMeta{
+		tenant:      tenant,
+		acct:        acct,
+		key:         key,
+		size:        size,
+		tick:        acct.tick.Add(1),
+		gseq:        s.gseq.Add(1),
+		computeCost: computeCost,
+	}
+	sh.mu.Unlock()
+	s.bytesStored.Add(size)
+	acct.usage.Add(size)
+	s.puts.Add(1)
+	acct.puts.Add(1)
+	return charge, true
+}
+
+// evictTenantOldest drops the tenant's oldest entry (lowest publish tick).
+// Victim search never holds two shard locks: candidates are collected one
+// shard at a time, then the winner is re-checked under its own lock.
+func (s *SharedCache) evictTenantOldest(acct *tenantAccount) bool {
+	for {
+		var bestShard *shard
+		var bestKey *lineage.Item
+		var bestTick uint64
+		found := false
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for _, md := range sh.meta {
+				if md.acct == acct && (!found || md.tick < bestTick) {
+					found, bestTick = true, md.tick
+					bestShard, bestKey = sh, md.key
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if !found {
+			return false
+		}
+		bestShard.mu.Lock()
+		dropped := bestShard.cache.DropItem(bestKey)
+		bestShard.mu.Unlock()
+		if dropped {
+			return true
+		}
+		// The candidate vanished between passes; rescan.
+	}
+}
+
+// evictGlobalOldest drops the globally oldest entry (lowest global publish
+// sequence). Only reached when tenant budgets overcommit the global budget;
+// this path is concurrency-safe but couples tenants, so virtual latencies
+// are no longer interleaving-independent.
+func (s *SharedCache) evictGlobalOldest() bool {
+	for {
+		var bestShard *shard
+		var bestKey *lineage.Item
+		var bestSeq uint64
+		found := false
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for _, md := range sh.meta {
+				if !found || md.gseq < bestSeq {
+					found, bestSeq = true, md.gseq
+					bestShard, bestKey = sh, md.key
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if !found {
+			return false
+		}
+		bestShard.mu.Lock()
+		dropped := bestShard.cache.DropItem(bestKey)
+		bestShard.mu.Unlock()
+		if dropped {
+			return true
+		}
+	}
+}
+
+// BytesStored returns the resident shared-cache bytes.
+func (s *SharedCache) BytesStored() int64 { return s.bytesStored.Load() }
+
+// Clear drops every entry and resets usage (stats counters are kept).
+func (s *SharedCache) Clear() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.cache.SetOnDrop(nil)
+		sh.cache.Clear()
+		sh.cache.SetOnDrop(sh.onDrop)
+		sh.meta = make(map[*core.Entry]*entryMeta)
+		sh.mu.Unlock()
+	}
+	s.accMu.RLock()
+	for _, a := range s.accounts {
+		a.usage.Store(0)
+	}
+	s.accMu.RUnlock()
+	s.bytesStored.Store(0)
+}
+
+// TenantStats is one tenant's view of the shared cache.
+type TenantStats struct {
+	Probes    int64 `json:"probes"`
+	Hits      int64 `json:"hits"`
+	CrossHits int64 `json:"cross_hits"` // hits on entries published by another tenant
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// SharedStats is the aggregate shared-cache surface of serve.Snapshot.
+type SharedStats struct {
+	Probes              int64                  `json:"probes"`
+	Hits                int64                  `json:"hits"`
+	CrossTenantHits     int64                  `json:"cross_tenant_hits"`
+	Misses              int64                  `json:"misses"`
+	Puts                int64                  `json:"puts"`
+	Evictions           int64                  `json:"evictions"`
+	BytesStored         int64                  `json:"bytes_stored"`
+	Entries             int                    `json:"entries"`
+	CrossTenantHitRatio float64                `json:"cross_tenant_hit_ratio"` // cross-tenant hits per probe
+	PerTenant           map[string]TenantStats `json:"per_tenant"`
+}
+
+// StatsSnapshot returns a consistent-enough view of the shared cache for
+// monitoring (counters are atomics; entry counts take each shard lock).
+func (s *SharedCache) StatsSnapshot() SharedStats {
+	st := SharedStats{
+		Probes:          s.probes.Load(),
+		Hits:            s.hits.Load(),
+		CrossTenantHits: s.crossHits.Load(),
+		Misses:          s.misses.Load(),
+		Puts:            s.puts.Load(),
+		Evictions:       s.evictions.Load(),
+		BytesStored:     s.bytesStored.Load(),
+		PerTenant:       make(map[string]TenantStats),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Entries += sh.cache.NumEntries()
+		sh.mu.Unlock()
+	}
+	if st.Probes > 0 {
+		st.CrossTenantHitRatio = float64(st.CrossTenantHits) / float64(st.Probes)
+	}
+	s.accMu.RLock()
+	for name, a := range s.accounts {
+		st.PerTenant[name] = TenantStats{
+			Probes:    a.probes.Load(),
+			Hits:      a.hits.Load(),
+			CrossHits: a.crossHits.Load(),
+			Puts:      a.puts.Load(),
+			Evictions: a.evictions.Load(),
+			Bytes:     a.usage.Load(),
+		}
+	}
+	s.accMu.RUnlock()
+	return st
+}

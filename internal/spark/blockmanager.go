@@ -168,3 +168,10 @@ func (b *BlockManager) memoryBytesOf(rdd int) int64 {
 
 // NumBlocks returns the number of cached blocks (memory + disk).
 func (b *BlockManager) NumBlocks() int { return len(b.blocks) }
+
+// clear drops every cached block (memory and disk) across all RDDs.
+func (b *BlockManager) clear() {
+	b.blocks = make(map[blockKey]*block)
+	b.lru = nil
+	b.used = 0
+}

@@ -45,6 +45,7 @@ func (c *Context) NewBroadcast(m *data.Matrix, async bool) *Broadcast {
 		c.clock.Advance(serialize)
 	}
 	c.driverBroadcastBytes += b.size
+	c.bcasts = append(c.bcasts, b)
 	return b
 }
 

@@ -61,6 +61,10 @@ type Context struct {
 	nextRDD int
 	nextBC  int
 
+	// bcasts tracks every broadcast created on this context so Shutdown
+	// can destroy stragglers that lazy GC never reached.
+	bcasts []*Broadcast
+
 	// driverBroadcastBytes tracks serialized broadcast data retained in
 	// the driver until destroy() — the dangling-reference problem of
 	// Figure 2(b).
@@ -289,3 +293,16 @@ func collectBroadcasts(r *RDD) []*Broadcast {
 // CleanShuffles drops the implicit shuffle-file cache of an RDD (modeling
 // ContextCleaner activity when an RDD is garbage collected).
 func (c *Context) CleanShuffles(r *RDD) { r.shuffleFiles = nil }
+
+// Shutdown releases everything the cluster retains on behalf of the driver:
+// all cached partitions (memory and disk) and every broadcast variable not
+// yet destroyed. After Shutdown the context holds no simulated memory; it is
+// called when a session closes so serving-layer sessions do not leak cluster
+// storage for the life of the process.
+func (c *Context) Shutdown() {
+	for _, b := range c.bcasts {
+		b.Destroy()
+	}
+	c.bcasts = nil
+	c.bm.clear()
+}

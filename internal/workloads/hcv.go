@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"memphis/internal/data"
 	"memphis/internal/datasets"
 	"memphis/internal/ir"
 	"memphis/internal/runtime"
@@ -68,15 +69,19 @@ func HCV(rows, cols, folds int, regs []float64, seed int64) *Workload {
 		ir.For("reg", regs, &ir.BasicBlock{Stmts: gridStmts}),
 	}
 
+	inputs := func() map[string]*data.Matrix {
+		x, y := datasets.Regression(rows, cols, seed)
+		return map[string]*data.Matrix{
+			"X":    x,
+			"y":    y,
+			"best": dataScalar(-1e18),
+			"eye":  data.Identity(cols),
+		}
+	}
 	return &Workload{
-		Name: "HCV",
-		Prog: p,
-		Bind: func(ctx *runtime.Context) {
-			x, y := datasets.Regression(rows, cols, seed)
-			ctx.BindHost("X", x)
-			ctx.BindHost("y", y)
-			ctx.BindHost("best", dataScalar(-1e18))
-			bindEye(ctx, cols)
-		},
+		Name:       "HCV",
+		Prog:       p,
+		Bind:       func(ctx *runtime.Context) { BindHostInputs(ctx, inputs()) },
+		HostInputs: inputs,
 	}
 }

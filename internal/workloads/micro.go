@@ -39,16 +39,20 @@ func L2SVMMicro(rows, cols, itersPerTrial int, regs []float64, seed int64) *Work
 			ir.Assign("acc", ir.Add(ir.Var("acc"), ir.Sum(ir.Var("w")))),
 		)),
 	}
+	inputs := func() map[string]*data.Matrix {
+		x, y := datasets.Classification(rows, cols, 0.5, seed)
+		return map[string]*data.Matrix{
+			"X":   x,
+			"ys":  data.Map(y, func(v float64) float64 { return 2*v - 1 }),
+			"w0":  data.Zeros(cols, 1),
+			"acc": data.Scalar(0),
+		}
+	}
 	return &Workload{
-		Name: "L2SVM-micro",
-		Prog: p,
-		Bind: func(ctx *runtime.Context) {
-			x, y := datasets.Classification(rows, cols, 0.5, seed)
-			ctx.BindHost("X", x)
-			ctx.BindHost("ys", data.Map(y, func(v float64) float64 { return 2*v - 1 }))
-			ctx.BindHost("w0", data.Zeros(cols, 1))
-			ctx.BindHost("acc", data.Scalar(0))
-		},
+		Name:       "L2SVM-micro",
+		Prog:       p,
+		Bind:       func(ctx *runtime.Context) { BindHostInputs(ctx, inputs()) },
+		HostInputs: inputs,
 	}
 }
 

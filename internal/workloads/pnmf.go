@@ -41,14 +41,17 @@ func PNMF(users, movies, rank, iters int, seed int64) *Workload {
 		),
 		ir.ForRange("i", iters, body),
 	}
+	inputs := func() map[string]*data.Matrix {
+		return map[string]*data.Matrix{
+			"X": datasets.MovieLens(users, movies, seed),
+			"W": data.Rand(users, rank, 0.01, 1, 1, seed+1),
+			"H": data.Rand(rank, movies, 0.01, 1, 1, seed+2),
+		}
+	}
 	return &Workload{
-		Name: "PNMF",
-		Prog: p,
-		Bind: func(ctx *runtime.Context) {
-			x := datasets.MovieLens(users, movies, seed)
-			ctx.BindHost("X", x)
-			ctx.BindHost("W", data.Rand(users, rank, 0.01, 1, 1, seed+1))
-			ctx.BindHost("H", data.Rand(rank, movies, 0.01, 1, 1, seed+2))
-		},
+		Name:       "PNMF",
+		Prog:       p,
+		Bind:       func(ctx *runtime.Context) { BindHostInputs(ctx, inputs()) },
+		HostInputs: inputs,
 	}
 }

@@ -10,6 +10,7 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
 
 	"memphis/internal/data"
 	"memphis/internal/ir"
@@ -22,8 +23,28 @@ type Workload struct {
 	Prog *ir.Program
 	// Bind installs the input datasets into a fresh context.
 	Bind func(ctx *runtime.Context)
+	// HostInputs, when set, materializes the input datasets as a plain
+	// name->matrix map. The serving layer uses it to bind inputs through
+	// serve.SubmitOptions, where input checksums drive conflict
+	// serialization and cross-tenant reuse. Workloads with purely
+	// host-bound inputs set both Bind and HostInputs from the same
+	// generator, so the two paths are equivalent.
+	HostInputs func() map[string]*data.Matrix
 	// NeedsGPU marks workloads whose configs should enable the GPU.
 	NeedsGPU bool
+}
+
+// BindHostInputs binds a host-input map in sorted name order (the same
+// order the serving layer uses, keeping virtual times comparable).
+func BindHostInputs(ctx *runtime.Context, inputs map[string]*data.Matrix) {
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ctx.BindHost(n, inputs[n])
+	}
 }
 
 // Run binds inputs and executes the workload, returning the virtual time.
@@ -116,9 +137,4 @@ func r2Stmts(score, xTest, yTest, beta string) []ir.Stmt {
 		ir.Assign(tot, ir.Sum(ir.Pow(ir.Sub(ir.Var(yTest), ir.Mean(ir.Var(yTest))), 2))),
 		ir.Assign(score, ir.Sub(ir.Lit(1), ir.Div(ir.Var(res), ir.Var(tot)))),
 	}
-}
-
-// onesEye builds the identity matrix binder used by linRegDS callers.
-func bindEye(ctx *runtime.Context, cols int) {
-	ctx.BindHost("eye", data.Identity(cols))
 }

@@ -28,6 +28,7 @@ import (
 	"memphis/internal/ir"
 	"memphis/internal/lineage"
 	"memphis/internal/runtime"
+	"memphis/internal/serve"
 	"memphis/internal/spark"
 )
 
@@ -89,8 +90,10 @@ type Session struct {
 	opts Options
 }
 
-// New creates a session.
-func New(opts Options) *Session {
+// runtimeConfig lowers public Options to the internal runtime configuration
+// (shared by New and NewServer, so queued requests execute exactly like
+// standalone sessions).
+func runtimeConfig(opts Options) runtime.Config {
 	comp := compiler.DefaultConfig()
 	if opts.OpMemBudget > 0 {
 		comp.OpMemBudget = opts.OpMemBudget
@@ -129,18 +132,20 @@ func New(opts Options) *Session {
 			pol = gpu.PolicyMemphis
 		}
 	}
-	return &Session{
-		ctx: runtime.New(runtime.Config{
-			Mode:        mode,
-			Compiler:    comp,
-			Cache:       cache,
-			Spark:       spark.DefaultConfig(),
-			GPUCapacity: gcap,
-			GPUPolicy:   pol,
-			Parallelism: opts.Parallelism,
-		}),
-		opts: opts,
+	return runtime.Config{
+		Mode:        mode,
+		Compiler:    comp,
+		Cache:       cache,
+		Spark:       spark.DefaultConfig(),
+		GPUCapacity: gcap,
+		GPUPolicy:   pol,
+		Parallelism: opts.Parallelism,
 	}
+}
+
+// New creates a session.
+func New(opts Options) *Session {
+	return &Session{ctx: runtime.New(runtimeConfig(opts)), opts: opts}
 }
 
 // Bind installs an input matrix under a variable name (a persistent read:
@@ -161,14 +166,36 @@ func (s *Session) Run(p *ir.Program) error {
 }
 
 // Value fetches a variable's value to the host (triggering any pending
-// collect/copy) or returns nil if unbound.
+// collect/copy). It returns nil — not an error — when the name was never
+// bound or assigned, or the session is closed; callers that need to
+// distinguish "unbound" from a legitimate value should use Lookup.
 func (s *Session) Value(name string) *Matrix {
-	v := s.ctx.Var(name)
-	if v == nil {
+	m, err := s.Lookup(name)
+	if err != nil {
 		return nil
 	}
-	return s.ctx.EnsureHostValue(v)
+	return m
 }
+
+// Lookup fetches a variable's value to the host like Value, but reports
+// unbound names and closed sessions as errors instead of a silent nil.
+func (s *Session) Lookup(name string) (*Matrix, error) {
+	if s.ctx.Closed() {
+		return nil, fmt.Errorf("memphis: session is closed")
+	}
+	v := s.ctx.Var(name)
+	if v == nil {
+		return nil, fmt.Errorf("memphis: variable %q is not bound", name)
+	}
+	return s.ctx.EnsureHostValue(v), nil
+}
+
+// Close releases the session's simulated resources: GPU pointers are freed,
+// Spark RDDs and broadcasts unpersisted, and the lineage cache cleared.
+// Without Close, sessions leak simulated device and cluster memory for the
+// life of the process. Close is idempotent; Run after Close errors and
+// Value/Lookup report the session closed.
+func (s *Session) Close() error { return s.ctx.Close() }
 
 // VirtualTime returns the driver's virtual clock in seconds — the
 // deterministic simulated execution time all experiments report.
@@ -199,4 +226,79 @@ func (s *Session) Recompute(log string) (*Matrix, error) {
 		return nil, err
 	}
 	return runtime.Recompute(s.ctx, root)
+}
+
+// Server is the multi-tenant serving layer: a worker pool executing
+// programs from many tenants against one shared, concurrency-safe lineage
+// cache (see internal/serve). Identical sub-programs over identical data
+// submitted by different tenants reuse each other's results.
+type Server = serve.Server
+
+// SubmitOptions, Future, Result, and ServerSnapshot are the serving-layer
+// request and monitoring types.
+type (
+	SubmitOptions  = serve.SubmitOptions
+	Future         = serve.Future
+	Result         = serve.Result
+	ServerSnapshot = serve.Snapshot
+)
+
+// ServerOptions configures NewServer. The embedded Options template shapes
+// every per-request session (reuse mode, budgets, backends), exactly as New
+// would build it.
+type ServerOptions struct {
+	Options
+
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// FairScheduling selects weighted-fair queueing across tenants
+	// instead of FIFO dispatch.
+	FairScheduling bool
+	// SharedBudget is the cross-tenant cache's global byte budget
+	// (default 64 MB); TenantBudget caps one tenant's share (default
+	// SharedBudget/8). Keeping the sum of tenant shares within the global
+	// budget preserves deterministic per-tenant virtual latencies.
+	SharedBudget int64
+	TenantBudget int64
+	// SharedShards is the shared cache's lock-shard count (default 8).
+	SharedShards int
+	// MaxQueue and MaxPerTenant bound admission (defaults 1024 and 64).
+	MaxQueue     int
+	MaxPerTenant int
+}
+
+// NewServer starts a serving layer whose per-request sessions are built
+// from the embedded Options. Close the server to drain and stop it.
+func NewServer(opts ServerOptions) *Server {
+	conf := serve.DefaultConfig()
+	conf.Runtime = runtimeConfig(opts.Options)
+	if opts.Workers > 0 {
+		conf.Workers = opts.Workers
+	}
+	if opts.FairScheduling {
+		conf.Sched = serve.SchedWFQ
+	}
+	conf.Shared.Budget = opts.SharedBudget
+	conf.Shared.TenantBudget = opts.TenantBudget
+	conf.Shared.Shards = opts.SharedShards
+	if opts.MaxQueue > 0 {
+		conf.MaxQueue = opts.MaxQueue
+	}
+	if opts.MaxPerTenant > 0 {
+		conf.MaxPerTenant = opts.MaxPerTenant
+	}
+	conf.Rewrite = opts.Reuse == ReuseFull
+	return serve.New(conf)
+}
+
+// NewSessionFor creates an interactive Session attached to a server's
+// shared cache under the given tenant identity: values the session computes
+// are offered to (and reused from) the cross-tenant cache. Unlike Submit,
+// such a session bypasses the server's conflict scheduling, so its virtual
+// times are only reproducible while no overlapping requests run
+// concurrently. Close the session when done.
+func NewSessionFor(srv *Server, tenant string, opts Options) *Session {
+	s := New(opts)
+	s.ctx.AttachShared(srv.Shared(), tenant)
+	return s
 }

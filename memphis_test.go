@@ -145,3 +145,99 @@ func TestSessionValueUnbound(t *testing.T) {
 		t.Fatal("unbound variable must return nil")
 	}
 }
+
+func TestSessionLookupAndClose(t *testing.T) {
+	s := New(Options{Reuse: ReuseFull, EnableGPU: true})
+	x, _ := bindInputs(s)
+	if err := s.Run(ridgeProgram([]float64{0.5})); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Lookup("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.AllClose(got, x, 0) {
+		t.Fatal("Lookup must return the bound matrix")
+	}
+	if _, err := s.Lookup("nope"); err == nil {
+		t.Fatal("Lookup of an unbound variable must error")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup("X"); err == nil {
+		t.Fatal("Lookup after Close must error")
+	}
+	if s.Value("X") != nil {
+		t.Fatal("Value after Close must return nil")
+	}
+	if err := s.Run(ridgeProgram([]float64{0.5})); err == nil {
+		t.Fatal("Run after Close must error")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+}
+
+// TestServerFacade drives the public serving API end to end: two tenants,
+// identical programs and data, cross-tenant reuse visible in the snapshot,
+// plus an interactive session attached to the server's shared cache.
+func TestServerFacade(t *testing.T) {
+	srv := NewServer(ServerOptions{
+		Options: Options{Reuse: ReuseFull},
+		Workers: 2,
+	})
+	x := data.RandNorm(300, 8, 0, 1, 7)
+	y := data.RandNorm(300, 1, 0, 1, 8)
+	inputs := func() map[string]*Matrix {
+		return map[string]*Matrix{"X": x.Clone(), "y": y.Clone()}
+	}
+	prog := ridgeProgram([]float64{0.25, 0.75})
+	fa, err := srv.Submit("alice", prog, SubmitOptions{Inputs: inputs(), Fetch: []string{"beta"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := srv.Submit("bob", prog, SubmitOptions{Inputs: inputs(), Fetch: []string{"beta"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := fa.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := fb.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !data.AllClose(ra.Values["beta"], rb.Values["beta"], 0) {
+		t.Fatal("both tenants must get the same beta")
+	}
+	if rb.Stats.SharedHits == 0 {
+		t.Fatal("second tenant must reuse the first's work")
+	}
+
+	// An interactive session under a third tenant reuses the served results.
+	s := NewSessionFor(srv, "carol", Options{Reuse: ReuseFull})
+	s.Bind("X", x.Clone())
+	s.Bind("y", y.Clone())
+	if err := s.Run(ridgeProgram([]float64{0.25, 0.75})); err != nil {
+		t.Fatal(err)
+	}
+	if !data.AllClose(s.Value("beta"), ra.Values["beta"], 0) {
+		t.Fatal("interactive session must compute the same beta")
+	}
+	if s.Stats().SharedHits == 0 {
+		t.Fatal("interactive session must hit the shared cache")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	snap := srv.Snapshot()
+	if snap.Shared.CrossTenantHits == 0 {
+		t.Fatal("expected cross-tenant reuse in the snapshot")
+	}
+	if snap.Completed != 2 || snap.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 2/0", snap.Completed, snap.Failed)
+	}
+}
