@@ -8,12 +8,21 @@
 // shared-cache entries; different groups never alias (content signatures
 // differ) and execute concurrently.
 //
+// With -chaos, a deterministic fault plan (see internal/faults) injects
+// simulated GPU OOMs, Spark task/fetch/spill/executor failures, and
+// serve-level worker crashes; the robustness layer (task retry, recompute,
+// request retry with backoff) absorbs every fault, and the report gains
+// per-site failure counters. Chaos runs replay bitwise-identically: -verify
+// holds under -chaos too.
+//
 // Usage:
 //
 //	memphis-serve                                # 8 tenants, 2 groups, hcv
 //	memphis-serve -workload l2svm -tenants 12 -sched wfq
 //	memphis-serve -verify -check                 # exit 1 unless reuse > 0
 //	                                             # and vtimes are serial
+//	memphis-serve -chaos -verify -check          # faults on; exit 1 unless
+//	                                             # all requests still succeed
 package main
 
 import (
@@ -22,14 +31,21 @@ import (
 	"fmt"
 	"os"
 
+	"memphis/internal/faults"
 	"memphis/internal/serve"
 	"memphis/internal/workloads"
 )
 
-// mix describes one runnable workload preset.
+// mix describes one runnable workload preset. chaosOpMem is the op-memory
+// budget -chaos switches to: the mix's matrices are far below the serving
+// default, so without the override every request stays CP-only and the Spark
+// fault sites (task, fetch, spill, executor loss) are never exercised. It is
+// per-workload because pushing every op to the cluster is not legal for all
+// shapes (pnmf's W×H multiply needs both operands local or one broadcast).
 type mix struct {
-	build func(seed int64) *workloads.Workload
-	fetch string
+	build      func(seed int64) *workloads.Workload
+	fetch      string
+	chaosOpMem int64
 }
 
 var mixes = map[string]mix{
@@ -37,19 +53,22 @@ var mixes = map[string]mix{
 		build: func(seed int64) *workloads.Workload {
 			return workloads.HCV(96, 8, 3, []float64{1e-3, 1e-2, 1e-1, 1}, seed)
 		},
-		fetch: "best",
+		fetch:      "best",
+		chaosOpMem: 1 << 10,
 	},
 	"l2svm": {
 		build: func(seed int64) *workloads.Workload {
 			return workloads.L2SVMMicro(64, 8, 3, []float64{0.01, 0.1, 0.2, 0.5}, seed)
 		},
-		fetch: "acc",
+		fetch:      "acc",
+		chaosOpMem: 1 << 10,
 	},
 	"pnmf": {
 		build: func(seed int64) *workloads.Workload {
 			return workloads.PNMF(60, 40, 4, 3, seed)
 		},
-		fetch: "obj",
+		fetch:      "obj",
+		chaosOpMem: 1 << 12,
 	},
 }
 
@@ -60,10 +79,15 @@ type report struct {
 	Groups            int             `json:"groups"`
 	Workers           int             `json:"workers"`
 	Sched             string          `json:"sched"`
-	Results           []*serve.Result `json:"results"`
-	Snapshot          serve.Snapshot  `json:"snapshot"`
+	// Chaos is set when fault injection is on; ChaosSeed keys the plan.
+	// Snapshot.faults then counts injected failures per site, and
+	// Snapshot.retries the attempts absorbed by the retry loop.
+	Chaos     bool            `json:"chaos,omitempty"`
+	ChaosSeed int64           `json:"chaos_seed,omitempty"`
+	Results   []*serve.Result `json:"results"`
+	Snapshot  serve.Snapshot  `json:"snapshot"`
 	// Deterministic is set by -verify: true when every request's virtual
-	// latency equals the 1-worker serial replay's.
+	// latency (and retry count) equals the 1-worker serial replay's.
 	Deterministic *bool `json:"deterministic,omitempty"`
 }
 
@@ -119,6 +143,13 @@ func main() {
 		tenantMB = flag.Int64("tenant-budget", 8, "per-tenant shared-cache budget (MB)")
 		verify   = flag.Bool("verify", false, "replay serially and compare per-request virtual times")
 		check    = flag.Bool("check", false, "exit 1 unless cross-tenant reuse occurred (and -verify held)")
+
+		chaos     = flag.Bool("chaos", false, "inject deterministic faults at default probabilities")
+		chaosSeed = flag.Int64("chaos-seed", 7, "fault-plan seed (with -chaos)")
+		deadline  = flag.Float64("deadline", 0, "per-request virtual deadline in seconds (0 = none)")
+		retries   = flag.Int("retries", 0, "max retries per request (0 = default 2, negative disables)")
+		backoff   = flag.Float64("backoff", 0, "retry backoff base in virtual seconds (0 = default 0.05)")
+		degrade   = flag.Int("degrade", 0, "disable the first N shared-cache shards (degraded mode)")
 	)
 	flag.Parse()
 	m, ok := mixes[*workload]
@@ -138,6 +169,22 @@ func main() {
 	if *sched == "wfq" {
 		conf.Sched = serve.SchedWFQ
 	}
+	if *chaos {
+		conf.Faults = faults.Default(*chaosSeed)
+		conf.Runtime.Compiler.OpMemBudget = m.chaosOpMem
+	}
+	conf.Deadline = *deadline
+	conf.MaxRetries = *retries
+	conf.RetryBackoff = *backoff
+	if *degrade > 0 {
+		if *degrade > *shards {
+			fmt.Fprintln(os.Stderr, "memphis-serve: -degrade must not exceed -shards")
+			os.Exit(2)
+		}
+		for i := 0; i < *degrade; i++ {
+			conf.DisabledShards = append(conf.DisabledShards, i)
+		}
+	}
 
 	results, snap, err := run(m, conf, *tenants, *requests, *groups)
 	if err != nil {
@@ -151,8 +198,13 @@ func main() {
 		Groups:            *groups,
 		Workers:           *workers,
 		Sched:             *sched,
+		Chaos:             *chaos,
+		ChaosSeed:         *chaosSeed,
 		Results:           results,
 		Snapshot:          snap,
+	}
+	if !*chaos {
+		rep.ChaosSeed = 0
 	}
 
 	if *verify {
@@ -169,7 +221,8 @@ func main() {
 			if !ok {
 				break
 			}
-			ok = results[i].VirtualSeconds == serialRes[i].VirtualSeconds
+			ok = results[i].VirtualSeconds == serialRes[i].VirtualSeconds &&
+				results[i].Retries == serialRes[i].Retries
 		}
 		rep.Deterministic = &ok
 	}
@@ -182,12 +235,16 @@ func main() {
 	fmt.Println(string(out))
 
 	if *check {
-		if snap.Shared.CrossTenantHitRatio <= 0 {
+		if snap.Shared.CrossTenantHitRatio <= 0 && *degrade < *shards {
 			fmt.Fprintln(os.Stderr, "memphis-serve: CHECK FAILED: no cross-tenant reuse")
 			os.Exit(1)
 		}
 		if rep.Deterministic != nil && !*rep.Deterministic {
 			fmt.Fprintln(os.Stderr, "memphis-serve: CHECK FAILED: virtual times diverge from serial replay")
+			os.Exit(1)
+		}
+		if *chaos && snap.Failed != 0 {
+			fmt.Fprintf(os.Stderr, "memphis-serve: CHECK FAILED: %d requests failed under chaos defaults\n", snap.Failed)
 			os.Exit(1)
 		}
 	}

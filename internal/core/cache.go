@@ -21,6 +21,7 @@ package core
 import (
 	"memphis/internal/costs"
 	"memphis/internal/data"
+	"memphis/internal/faults"
 	"memphis/internal/gpu"
 	"memphis/internal/lineage"
 	"memphis/internal/spark"
@@ -132,6 +133,10 @@ type Stats struct {
 	GCChildRDDs  int64
 	AsyncMats    int64
 	GPUToHost    int64
+
+	// SpillErrorsCP counts CP spill writes that failed under fault
+	// injection (the victim is dropped instead of spilled).
+	SpillErrorsCP int64
 }
 
 // Config tunes the cache policies.
@@ -185,6 +190,9 @@ type Cache struct {
 	// per-tenant usage accounting in sync with the entry map.
 	onDrop func(*Entry)
 
+	// inj injects deterministic spill I/O errors; nil means none.
+	inj *faults.Injector
+
 	Stats Stats
 }
 
@@ -209,6 +217,9 @@ func NewCache(clock *vtime.Clock, model *costs.Model, conf Config,
 	}
 	return c
 }
+
+// SetInjector installs the fault injector (nil disables injection).
+func (c *Cache) SetInjector(inj *faults.Injector) { c.inj = inj }
 
 // Config returns the active configuration.
 func (c *Cache) Config() Config { return c.conf }

@@ -5,6 +5,7 @@ import (
 
 	"memphis/internal/costs"
 	"memphis/internal/data"
+	"memphis/internal/faults"
 	"memphis/internal/gpu"
 	"memphis/internal/lineage"
 	"memphis/internal/spark"
@@ -120,13 +121,20 @@ func (c *Cache) MakeSpaceCP(need int64) {
 		c.cpUsed -= victim.Size
 		// Spill only when recomputation would cost more than the disk
 		// round trip; cheap intermediates are dropped (LIMA's cost-based
-		// spill decision).
+		// spill decision). An injected spill I/O error drops the victim
+		// instead — it is recomputed from lineage if needed again — after
+		// charging the attempted write.
 		diskRT := 2 * (c.model.SpillSetup + costs.Transfer(victim.Size, c.model.DiskBW, 0))
 		if c.conf.SpillToDisk && victim.ComputeCost > diskRT {
-			c.Stats.SpillsCP++
 			c.clock.Advance(c.model.SpillSetup +
 				costs.Transfer(victim.Size, c.model.DiskBW, 0))
-			victim.Status = StatusSpilled
+			if c.inj.Fail(faults.CPSpill) {
+				c.Stats.SpillErrorsCP++
+				c.removeEntry(victim)
+			} else {
+				c.Stats.SpillsCP++
+				victim.Status = StatusSpilled
+			}
 		} else {
 			c.removeEntry(victim)
 		}

@@ -27,6 +27,7 @@ type Model struct {
 	SparkJobOverhead   float64 // DAGScheduler job launch
 	SparkStageOverhead float64 // per stage
 	SparkTaskOverhead  float64 // per task (partition)
+	ExecutorReplace    float64 // replacing a lost executor (re-registration)
 
 	// GPU driver overheads.
 	CudaMalloc   float64 // cudaMalloc fixed cost
@@ -64,6 +65,7 @@ func Default() *Model {
 		SparkJobOverhead:   80e-3,
 		SparkStageOverhead: 20e-3,
 		SparkTaskOverhead:  1e-3,
+		ExecutorReplace:    200e-3,
 
 		CudaMalloc:   60e-6,
 		CudaFree:     50e-6,

@@ -18,6 +18,12 @@ func Parse(src string) (*ir.Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	// parseStmts stops at any closing brace; at the top level that means
+	// unconsumed input (e.g. a stray `}`), which must be an error, not a
+	// silently truncated program.
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf(t, "unexpected %q after end of program", t.text)
+	}
 	p.prog.Main = blocks
 	if err := p.validateCalls(p.prog.Main); err != nil {
 		return nil, err

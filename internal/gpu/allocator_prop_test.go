@@ -1,0 +1,170 @@
+package gpu
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"memphis/internal/faults"
+)
+
+// checkTiling asserts the core allocator invariant: the device's free
+// segments plus every pointer the manager owns (live and free lists) exactly
+// tile the virtual address space [0, capacity) with no overlap and no gap.
+func checkTiling(t *testing.T, m *Manager) {
+	t.Helper()
+	var regions []segment
+	for _, s := range m.dev.alloc.free {
+		if s.size <= 0 {
+			t.Fatalf("free list holds empty segment %+v", s)
+		}
+		regions = append(regions, s)
+	}
+	collect := func(p *Pointer) {
+		if p.freed {
+			t.Fatal("manager owns a freed pointer")
+		}
+		regions = append(regions, segment{p.addr, p.size})
+	}
+	for p := range m.live {
+		collect(p)
+	}
+	for _, q := range m.free {
+		for _, p := range q {
+			collect(p)
+		}
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].addr < regions[j].addr })
+	var next int64
+	for _, r := range regions {
+		if r.addr < next {
+			t.Fatalf("regions overlap at %d (next expected %d)", r.addr, next)
+		}
+		if r.addr > next {
+			t.Fatalf("gap [%d, %d) not covered by any region", next, r.addr)
+		}
+		next = r.addr + r.size
+	}
+	if next != m.dev.Capacity() {
+		t.Fatalf("regions tile [0, %d), capacity %d", next, m.dev.Capacity())
+	}
+}
+
+// TestAllocatorTilingProperty drives random alloc/release/retain/evict/
+// defragment interleavings — with injected cudaMalloc failures — and checks
+// after every step that live+free regions exactly tile the address space.
+func TestAllocatorTilingProperty(t *testing.T) {
+	sizes := []int64{64, 256, 1024, 4096, 16384}
+	for _, seed := range []int64{1, 2, 7} {
+		rng := rand.New(rand.NewSource(seed))
+		m, _ := newTestManager(1 << 17) // 128 KiB: pressure is frequent
+		m.SetInjector(faults.NewInjector(&faults.Plan{
+			Seed:  seed,
+			Sites: map[faults.Site]faults.Trigger{faults.GPUAlloc: {Probability: 0.3}},
+		}))
+		var owned []*Pointer // pointers with a live reference we must release
+		var parked []*Pointer // released pointers that may sit in the free list
+		for step := 0; step < 2000; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5: // allocate
+				size := sizes[rng.Intn(len(sizes))]
+				p, err := m.Allocate(size, 1+rng.Intn(4), rng.Float64()*1e-3)
+				if err != nil {
+					if !errors.Is(err, ErrOOM) {
+						t.Fatalf("seed %d step %d: %v", seed, step, err)
+					}
+				} else {
+					owned = append(owned, p)
+				}
+			case op < 8: // release a live reference
+				if len(owned) > 0 {
+					i := rng.Intn(len(owned))
+					p := owned[i]
+					owned = append(owned[:i], owned[i+1:]...)
+					m.Release(p)
+					parked = append(parked, p)
+				}
+			case op < 9: // retain a parked pointer (lineage reuse)
+				if len(parked) > 0 {
+					i := rng.Intn(len(parked))
+					p := parked[i]
+					parked = append(parked[:i], parked[i+1:]...)
+					if m.Retain(p) {
+						owned = append(owned, p)
+					}
+				}
+			default: // memory-pressure maintenance
+				if rng.Intn(4) == 0 {
+					m.Defragment()
+				} else {
+					m.EvictPercent(0.25 + rng.Float64()*0.75)
+				}
+			}
+			checkTiling(t, m)
+		}
+		if m.Stats.InjectedOOMs == 0 {
+			t.Fatalf("seed %d: p=0.3 injection never fired over 2000 steps", seed)
+		}
+		for _, p := range owned {
+			m.Release(p)
+		}
+		m.Close()
+		checkTiling(t, m)
+		if m.dev.Used() != 0 {
+			t.Fatalf("seed %d: %d bytes leaked after Close", seed, m.dev.Used())
+		}
+	}
+}
+
+// TestInjectedMallocFailureRecovers: with room on the device and an empty
+// free list, an injected cudaMalloc failure is absorbed by the final retry
+// and the caller still gets memory.
+func TestInjectedMallocFailureRecovers(t *testing.T) {
+	m, d := newTestManager(1 << 20)
+	m.SetInjector(faults.NewInjector(&faults.Plan{
+		Seed:  1,
+		Sites: map[faults.Site]faults.Trigger{faults.GPUAlloc: {Nth: []int64{1}}},
+	}))
+	p, err := m.Allocate(4096, 1, 0)
+	if err != nil {
+		t.Fatalf("injected transient failure must recover: %v", err)
+	}
+	if m.Stats.InjectedOOMs != 1 {
+		t.Fatalf("InjectedOOMs = %d, want 1", m.Stats.InjectedOOMs)
+	}
+	if !p.Valid() || d.Used() != 4096 {
+		t.Fatal("recovered allocation is not live on the device")
+	}
+}
+
+// TestInjectedMallocDeterministic: the same plan yields the same injected
+// failure count and identical virtual time across runs.
+func TestInjectedMallocDeterministic(t *testing.T) {
+	run := func() (int64, float64) {
+		m, d := newTestManager(1 << 16)
+		m.SetInjector(faults.NewInjector(&faults.Plan{
+			Seed:  99,
+			Sites: map[faults.Site]faults.Trigger{faults.GPUAlloc: {Probability: 0.2}},
+		}))
+		var ps []*Pointer
+		for k := 0; k < 200; k++ {
+			if p, err := m.Allocate(1024, 1, 0); err == nil {
+				ps = append(ps, p)
+			}
+			if len(ps) > 8 {
+				m.Release(ps[0])
+				ps = ps[1:]
+			}
+		}
+		return m.Stats.InjectedOOMs, d.clock.Now()
+	}
+	n1, t1 := run()
+	n2, t2 := run()
+	if n1 == 0 {
+		t.Fatal("injection never fired")
+	}
+	if n1 != n2 || t1 != t2 {
+		t.Fatalf("replay diverged: (%d, %v) vs (%d, %v)", n1, t1, n2, t2)
+	}
+}

@@ -2,6 +2,8 @@ package gpu
 
 import (
 	"sort"
+
+	"memphis/internal/faults"
 )
 
 // Policy selects the allocator behaviour, emulating the systems compared in
@@ -32,6 +34,7 @@ type ManagerStats struct {
 	HostEvictions int64 // device-to-host eviction rounds
 	Defrags       int64 // full defragmentations
 	ReuseTakes    int64 // free->live transitions due to lineage reuse
+	InjectedOOMs  int64 // cudaMalloc failures injected by the fault plan
 }
 
 // Manager is MEMPHIS's unified GPU memory manager with moving boundaries
@@ -62,6 +65,10 @@ type Manager struct {
 	// bytes actually released.
 	hostEvictor func(need int64) int64
 
+	// inj injects deterministic cudaMalloc failures (simulated OOM) so the
+	// Algorithm-1 recovery ladder is exercised under test; nil means none.
+	inj *faults.Injector
+
 	Stats ManagerStats
 }
 
@@ -82,6 +89,9 @@ func (m *Manager) SetOnRecycle(f func(*Pointer)) { m.onRecycle = f }
 
 // SetHostEvictor installs the device-to-host eviction hook.
 func (m *Manager) SetHostEvictor(f func(need int64) int64) { m.hostEvictor = f }
+
+// SetInjector installs the fault injector (nil disables injection).
+func (m *Manager) SetInjector(inj *faults.Injector) { m.inj = inj }
 
 // LiveCount returns the number of live pointers.
 func (m *Manager) LiveCount() int { return len(m.live) }
@@ -226,7 +236,13 @@ func (m *Manager) Allocate(size int64, height int, computeCost float64) (*Pointe
 		}
 	}
 	// Step 2: plain cudaMalloc (grows the pool while memory is available).
-	if p, err := m.dev.Malloc(size); err == nil {
+	// An injected failure models a transient cudaMalloc error / simulated
+	// OOM: the call overhead is still charged, and the Algorithm-1 recovery
+	// ladder below must absorb it.
+	if m.inj.Fail(faults.GPUAlloc) {
+		m.Stats.InjectedOOMs++
+		m.dev.clock.Advance(m.dev.model.CudaMalloc)
+	} else if p, err := m.dev.Malloc(size); err == nil {
 		m.Stats.FreshMallocs++
 		p.Height = height
 		p.ComputeCost = computeCost
@@ -295,6 +311,16 @@ func (m *Manager) Allocate(size int64, height int, computeCost float64) (*Pointe
 			m.live[np] = struct{}{}
 			return np, nil
 		}
+	}
+	// Final plain retry. Free on genuine OOM (a failing Malloc charges
+	// nothing) but recovers injected transient failures when the device
+	// actually has room and the free list was empty.
+	if np, err := m.dev.Malloc(size); err == nil {
+		m.Stats.FreshMallocs++
+		np.Height = height
+		np.ComputeCost = computeCost
+		m.live[np] = struct{}{}
+		return np, nil
 	}
 	return nil, ErrOOM
 }

@@ -8,6 +8,7 @@ import (
 	"memphis/internal/core"
 	"memphis/internal/costs"
 	"memphis/internal/data"
+	"memphis/internal/faults"
 	"memphis/internal/gpu"
 	"memphis/internal/ir"
 	"memphis/internal/lineage"
@@ -97,6 +98,11 @@ type Config struct {
 	// CP operator results in an attached shared cache (function outputs
 	// are always shared). Zero shares every cacheable CP result.
 	ShareMinFlops float64
+
+	// Faults, when non-nil, injects deterministic failures into the GPU
+	// allocator, the Spark simulator, and the driver cache's spill path.
+	// Runs with the same plan replay bitwise-identically.
+	Faults *faults.Plan
 }
 
 // Stats counts runtime events.
@@ -148,6 +154,10 @@ type Context struct {
 	inputSigs map[string]uint64
 	leafMemo  map[*lineage.Item][]string
 
+	// Inj is the session's fault injector (nil without Config.Faults); its
+	// counters feed the serving layer's failure report.
+	Inj *faults.Injector
+
 	// Current block header parameters (set per basic block).
 	delayFactor  int
 	storageLevel spark.StorageLevel
@@ -185,6 +195,16 @@ func New(conf Config) *Context {
 	ctx.Cache = core.NewCache(clock, model, conf.Cache, ctx.SC, ctx.GM)
 	if ctx.GM != nil {
 		ctx.GM.SetHostEvictor(ctx.evictGPUToHost)
+	}
+	if conf.Faults != nil {
+		ctx.Inj = faults.NewInjector(conf.Faults)
+		if ctx.SC != nil {
+			ctx.SC.SetInjector(ctx.Inj)
+		}
+		if ctx.GM != nil {
+			ctx.GM.SetInjector(ctx.Inj)
+		}
+		ctx.Cache.SetInjector(ctx.Inj)
 	}
 	return ctx
 }

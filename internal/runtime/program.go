@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 
 	"memphis/internal/compiler"
@@ -13,10 +14,25 @@ import (
 // RunProgram interprets a program: every basic block is dynamically
 // recompiled against the current variable sizes, then executed instruction
 // by instruction through the reuse path.
-func (ctx *Context) RunProgram(p *ir.Program) error {
+//
+// A Spark stage abort (a task exceeding its attempt limit under fault
+// injection) unwinds the RDD evaluation as an ErrStageAbort panic; it is
+// converted to an error here so callers — the serve layer's retry loop in
+// particular — see a failed program run, not a crashed process. All other
+// panics propagate.
+func (ctx *Context) RunProgram(p *ir.Program) (err error) {
 	if ctx.closed {
 		return fmt.Errorf("runtime: context is closed")
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, spark.ErrStageAbort) {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
 	ctx.prog = p
 	return ctx.runBlocks(p.Main)
 }

@@ -11,6 +11,7 @@ import (
 	"memphis/internal/compiler"
 	"memphis/internal/core"
 	"memphis/internal/data"
+	"memphis/internal/faults"
 	"memphis/internal/ir"
 	"memphis/internal/runtime"
 	"memphis/internal/spark"
@@ -53,6 +54,32 @@ type Config struct {
 	Rewrite bool
 	// Shared sizes the cross-tenant cache.
 	Shared SharedConfig
+
+	// Faults, when non-nil, is the chaos plan. Each request attempt derives
+	// its own plan via Faults.ForRequest(ticket, attempt) — keyed by ticket,
+	// not call order, so fault streams (and therefore virtual latencies) are
+	// identical for every worker count. The serve.request site additionally
+	// crashes whole attempts before execution.
+	Faults *faults.Plan
+	// MaxRetries is how many times a failed attempt (injected crash, stage
+	// abort, panic) is retried before the request fails (default 2; negative
+	// disables retries).
+	MaxRetries int
+	// RetryBackoff is the base of the exponential virtual-time backoff added
+	// to a request's latency per retry: backoff_i = RetryBackoff * 2^i
+	// virtual seconds (default 0.05).
+	RetryBackoff float64
+	// Deadline, when positive, fails a request whose final virtual latency
+	// (execution plus accumulated backoff) exceeds it, with ErrDeadline.
+	Deadline float64
+	// ShedThreshold, when positive, sheds new submissions with ErrOverloaded
+	// once the queue reaches this depth — admission-level load shedding,
+	// tighter than MaxQueue's hard bound.
+	ShedThreshold int
+	// DisabledShards lists shared-cache shards to start degraded (see
+	// SharedCache.SetShardEnabled): probes miss and publishes are rejected,
+	// so sessions recompute instead of failing.
+	DisabledShards []int
 }
 
 // DefaultConfig mirrors memphis.Options{Reuse: ReuseFull} for each request
@@ -74,6 +101,8 @@ func DefaultConfig() Config {
 		MaxQueue:     1024,
 		MaxPerTenant: 64,
 		Rewrite:      true,
+		MaxRetries:   2,
+		RetryBackoff: 0.05,
 	}
 }
 
@@ -82,7 +111,11 @@ var (
 	ErrClosed      = errors.New("serve: server closed")
 	ErrQueueFull   = errors.New("serve: request queue full")
 	ErrTenantLimit = errors.New("serve: tenant request limit reached")
+	ErrOverloaded  = errors.New("serve: overloaded, request shed")
 )
+
+// ErrDeadline marks a request whose virtual latency exceeded Config.Deadline.
+var ErrDeadline = errors.New("serve: deadline exceeded")
 
 // SubmitOptions carries a request's inputs and result selection.
 type SubmitOptions struct {
@@ -114,6 +147,10 @@ type Result struct {
 	Values      map[string]*data.Matrix `json:"-"`
 	Stats       runtime.Stats           `json:"stats"`
 	Cache       core.Stats              `json:"-"`
+	// Retries is how many failed attempts preceded the successful one.
+	Retries int `json:"retries,omitempty"`
+	// Faults counts injected failures per site during the winning attempt.
+	Faults map[string]int64 `json:"faults,omitempty"`
 }
 
 // request is the queue element behind a Future.
@@ -160,12 +197,16 @@ type Server struct {
 	nextTicket   uint64
 	closed       bool
 
-	submitted  int64
-	completed  int64
-	failed     int64
-	rejected   int64
-	vtimeTotal float64
-	start      time.Time
+	submitted     int64
+	completed     int64
+	failed        int64
+	rejected      int64
+	shed          int64
+	retries       int64
+	deadlineFails int64
+	faultCounts   map[string]int64
+	vtimeTotal    float64
+	start         time.Time
 
 	wg sync.WaitGroup
 }
@@ -181,6 +222,14 @@ func New(conf Config) *Server {
 	if conf.MaxPerTenant <= 0 {
 		conf.MaxPerTenant = 64
 	}
+	if conf.MaxRetries == 0 {
+		conf.MaxRetries = 2
+	} else if conf.MaxRetries < 0 {
+		conf.MaxRetries = 0
+	}
+	if conf.RetryBackoff <= 0 {
+		conf.RetryBackoff = 0.05
+	}
 	if conf.Shared.Model == nil {
 		conf.Shared.Model = conf.Runtime.Model
 	}
@@ -193,7 +242,11 @@ func New(conf Config) *Server {
 		service:      make(map[string]float64),
 		weight:       make(map[string]float64),
 		rewritten:    make(map[*ir.Program]struct{}),
+		faultCounts:  make(map[string]int64),
 		start:        time.Now(),
+	}
+	for _, idx := range conf.DisabledShards {
+		s.shared.SetShardEnabled(idx, false)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(conf.Workers)
@@ -247,6 +300,11 @@ func (s *Server) Submit(tenant string, prog *ir.Program, opts SubmitOptions) (*F
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if s.conf.ShedThreshold > 0 && len(s.queue) >= s.conf.ShedThreshold {
+		s.rejected++
+		s.shed++
+		return nil, ErrOverloaded
 	}
 	if len(s.queue) >= s.conf.MaxQueue {
 		s.rejected++
@@ -405,18 +463,79 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one request on a fresh session attached to the shared cache.
-// The session is torn down afterwards (Close frees GPU pointers, unpersists
-// RDDs and broadcasts), so per-request state never leaks across tenants.
+// execute runs one request through the retry loop: each attempt executes on a
+// fresh session with its own attempt-derived fault plan; failed attempts
+// (injected worker crash, Spark stage abort, panic) are retried up to
+// Config.MaxRetries times with exponential virtual-time backoff. The final
+// latency — execution plus accumulated backoff — is checked against the
+// deadline. Everything in the loop is a pure function of the ticket, so
+// latencies stay interleaving-independent.
 func (s *Server) execute(req *request) {
+	backoff := 0.0
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		res, err := s.runAttempt(req, attempt)
+		if err == nil {
+			res.Retries = attempt
+			res.VirtualSeconds += backoff
+			if s.conf.Deadline > 0 && res.VirtualSeconds > s.conf.Deadline {
+				s.mu.Lock()
+				s.deadlineFails++
+				s.mu.Unlock()
+				req.res = res
+				req.err = fmt.Errorf("serve: request %d (%s): %w (%.3fs > %.3fs)",
+					req.ticket, req.tenant, ErrDeadline, res.VirtualSeconds, s.conf.Deadline)
+				return
+			}
+			req.res = res
+			return
+		}
+		lastErr = err
+		if attempt >= s.conf.MaxRetries {
+			break
+		}
+		backoff += s.conf.RetryBackoff * float64(int64(1)<<uint(attempt))
+		s.mu.Lock()
+		s.retries++
+		s.mu.Unlock()
+	}
+	req.err = lastErr
+}
+
+// runAttempt runs one attempt of a request on a fresh session attached to the
+// shared cache. The session is torn down afterwards (Close frees GPU
+// pointers, unpersists RDDs and broadcasts), so per-request state never leaks
+// across tenants — or across attempts. A panic (e.g. a stage abort escaping
+// through a lazy fetch) fails the attempt, not the worker.
+func (s *Server) runAttempt(req *request, attempt int) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			req.err = fmt.Errorf("serve: request %d (%s): panic: %v", req.ticket, req.tenant, p)
+			res, err = nil, fmt.Errorf("serve: request %d (%s): panic: %v", req.ticket, req.tenant, p)
 		}
 	}()
+	// Injected request-level fault: the simulated worker crashes before
+	// touching the session. Decided by (ticket, attempt) alone.
+	if s.conf.Faults.FireAt(faults.ServeRequest, req.ticket, attempt) {
+		s.mu.Lock()
+		s.faultCounts[string(faults.ServeRequest)]++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: request %d (%s): injected worker fault (attempt %d)",
+			req.ticket, req.tenant, attempt)
+	}
 	start := time.Now()
-	ctx := runtime.New(s.conf.Runtime)
+	rc := s.conf.Runtime
+	rc.Faults = s.conf.Faults.ForRequest(req.ticket, attempt)
+	ctx := runtime.New(rc)
 	defer ctx.Close()
+	defer func() {
+		if counts := ctx.Inj.Counts(); len(counts) > 0 {
+			s.mu.Lock()
+			for site, n := range counts {
+				s.faultCounts[string(site)] += n
+			}
+			s.mu.Unlock()
+		}
+	}()
 	ctx.AttachShared(s.shared, req.tenant)
 	names := make([]string, 0, len(req.opts.Inputs))
 	for n := range req.opts.Inputs {
@@ -430,8 +549,7 @@ func (s *Server) execute(req *request) {
 		req.opts.Bind(ctx)
 	}
 	if err := ctx.RunProgram(req.prog); err != nil {
-		req.err = fmt.Errorf("serve: request %d (%s): %w", req.ticket, req.tenant, err)
-		return
+		return nil, fmt.Errorf("serve: request %d (%s): %w", req.ticket, req.tenant, err)
 	}
 	values := make(map[string]*data.Matrix, len(req.opts.Fetch))
 	for _, n := range req.opts.Fetch {
@@ -439,7 +557,14 @@ func (s *Server) execute(req *request) {
 			values[n] = ctx.EnsureHostValue(v)
 		}
 	}
-	req.res = &Result{
+	var siteCounts map[string]int64
+	if counts := ctx.Inj.Counts(); len(counts) > 0 {
+		siteCounts = make(map[string]int64, len(counts))
+		for site, n := range counts {
+			siteCounts[string(site)] = n
+		}
+	}
+	return &Result{
 		Tenant:         req.tenant,
 		Ticket:         req.ticket,
 		VirtualSeconds: ctx.Clock.Now(),
@@ -447,7 +572,8 @@ func (s *Server) execute(req *request) {
 		Values:         values,
 		Stats:          ctx.Stats,
 		Cache:          ctx.Cache.Stats,
-	}
+		Faults:         siteCounts,
+	}, nil
 }
 
 // Snapshot is the monitoring surface of the server.
@@ -458,6 +584,14 @@ type Snapshot struct {
 	Completed  int64 `json:"completed"`
 	Failed     int64 `json:"failed"`
 	Rejected   int64 `json:"rejected"`
+	// Shed counts rejections from ShedThreshold (a subset of Rejected).
+	Shed int64 `json:"shed,omitempty"`
+	// Retries counts retried attempts; DeadlineFailures counts requests that
+	// completed past Config.Deadline. Faults aggregates injected failures by
+	// site across all attempts.
+	Retries          int64            `json:"retries,omitempty"`
+	DeadlineFailures int64            `json:"deadline_failures,omitempty"`
+	Faults           map[string]int64 `json:"faults,omitempty"`
 	// WallSeconds and Throughput are real-time aggregates; virtual times
 	// stay per-session and deterministic.
 	WallSeconds             float64     `json:"wall_seconds"`
@@ -476,8 +610,17 @@ func (s *Server) Snapshot() Snapshot {
 		Completed:               s.completed,
 		Failed:                  s.failed,
 		Rejected:                s.rejected,
+		Shed:                    s.shed,
+		Retries:                 s.retries,
+		DeadlineFailures:        s.deadlineFails,
 		WallSeconds:             time.Since(s.start).Seconds(),
 		AggregateVirtualSeconds: s.vtimeTotal,
+	}
+	if len(s.faultCounts) > 0 {
+		snap.Faults = make(map[string]int64, len(s.faultCounts))
+		for site, n := range s.faultCounts {
+			snap.Faults[site] = n
+		}
 	}
 	s.mu.Unlock()
 	if snap.WallSeconds > 0 {

@@ -99,6 +99,11 @@ type shard struct {
 	mu    sync.Mutex
 	cache *core.Cache
 	meta  map[*core.Entry]*entryMeta
+	// disabled marks the shard degraded (simulated partial cache outage):
+	// probes miss and publishes are rejected, with charges identical to
+	// genuine misses/rejections so virtual times stay deterministic.
+	// Sessions recompute instead of failing.
+	disabled bool
 }
 
 // SharedCache is the sharded, concurrency-safe front over core.Cache that
@@ -114,12 +119,13 @@ type SharedCache struct {
 	bytesStored atomic.Int64
 	gseq        atomic.Uint64
 
-	probes    atomic.Int64
-	hits      atomic.Int64
-	crossHits atomic.Int64
-	misses    atomic.Int64
-	puts      atomic.Int64
-	evictions atomic.Int64
+	probes         atomic.Int64
+	hits           atomic.Int64
+	crossHits      atomic.Int64
+	misses         atomic.Int64
+	puts           atomic.Int64
+	evictions      atomic.Int64
+	degradedProbes atomic.Int64
 }
 
 // NewSharedCache builds the shared level.
@@ -149,6 +155,32 @@ func NewSharedCache(conf SharedConfig) *SharedCache {
 
 // Config returns the active configuration.
 func (s *SharedCache) Config() SharedConfig { return s.conf }
+
+// SetShardEnabled enables or disables one shard (degraded mode). Disabling
+// does not drop the shard's entries — they come back when re-enabled.
+// Out-of-range indices are ignored.
+func (s *SharedCache) SetShardEnabled(idx int, on bool) {
+	if idx < 0 || idx >= len(s.shards) {
+		return
+	}
+	sh := s.shards[idx]
+	sh.mu.Lock()
+	sh.disabled = !on
+	sh.mu.Unlock()
+}
+
+// DisabledShards returns how many shards are currently degraded.
+func (s *SharedCache) DisabledShards() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.disabled {
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // shareKey derives the shared-level key: the session item wrapped with the
 // content signature, so equal sub-programs over equal data collide and
@@ -203,6 +235,12 @@ func (s *SharedCache) Probe(tenant string, item *lineage.Item, sig uint64) (*dat
 	key := shareKey(item, sig)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
+	if sh.disabled {
+		sh.mu.Unlock()
+		s.misses.Add(1)
+		s.degradedProbes.Add(1)
+		return nil, 0, s.conf.Model.Probe, false
+	}
 	e, hit := sh.cache.Probe(key)
 	if !hit {
 		sh.mu.Unlock()
@@ -235,6 +273,15 @@ func (s *SharedCache) Publish(tenant string, item *lineage.Item, sig uint64, m *
 	charge := s.conf.Model.CachePut
 	size := m.SizeBytes()
 	if size > s.conf.TenantBudget || size > s.conf.Budget {
+		return charge, false
+	}
+	// A degraded shard rejects the publish outright (same charge as any
+	// rejected put) before any budget eviction can disturb other entries.
+	sh0 := s.shardFor(shareKey(item, sig))
+	sh0.mu.Lock()
+	degraded := sh0.disabled
+	sh0.mu.Unlock()
+	if degraded {
 		return charge, false
 	}
 	acct := s.account(tenant)
@@ -384,6 +431,8 @@ type SharedStats struct {
 	BytesStored         int64                  `json:"bytes_stored"`
 	Entries             int                    `json:"entries"`
 	CrossTenantHitRatio float64                `json:"cross_tenant_hit_ratio"` // cross-tenant hits per probe
+	DegradedProbes      int64                  `json:"degraded_probes"` // probes answered "miss" by a disabled shard
+	DisabledShards      int                    `json:"disabled_shards"`
 	PerTenant           map[string]TenantStats `json:"per_tenant"`
 }
 
@@ -400,9 +449,13 @@ func (s *SharedCache) StatsSnapshot() SharedStats {
 		BytesStored:     s.bytesStored.Load(),
 		PerTenant:       make(map[string]TenantStats),
 	}
+	st.DegradedProbes = s.degradedProbes.Load()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		st.Entries += sh.cache.NumEntries()
+		if sh.disabled {
+			st.DisabledShards++
+		}
 		sh.mu.Unlock()
 	}
 	if st.Probes > 0 {

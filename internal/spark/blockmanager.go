@@ -1,6 +1,11 @@
 package spark
 
-import "memphis/internal/data"
+import (
+	"sort"
+
+	"memphis/internal/data"
+	"memphis/internal/faults"
+)
 
 // blockKey identifies one cached partition.
 type blockKey struct {
@@ -27,6 +32,8 @@ type BlockManager struct {
 	blocks map[blockKey]*block
 	// lru holds keys of in-memory blocks, least recently used first.
 	lru []blockKey
+	// inj injects deterministic spill I/O errors; nil means none.
+	inj *faults.Injector
 }
 
 func newBlockManager(budget int64) *BlockManager {
@@ -91,33 +98,44 @@ func (b *BlockManager) contains(rdd, part int) bool {
 
 // put caches a freshly computed partition, evicting LRU partitions of other
 // RDDs as needed. It returns how many victim partitions were spilled to
-// disk and how many were dropped. A partition larger than the whole budget
-// goes straight to disk if its level allows, else it is not cached (Spark
-// semantics).
-func (b *BlockManager) put(rdd, part int, m *data.Matrix, level StorageLevel) (spilled, dropped int) {
+// disk, how many were dropped, and how many spill writes failed (an
+// injected I/O error turns the spill into a drop — the victim is recomputed
+// from lineage on next access rather than read back from disk). A partition
+// larger than the whole budget goes straight to disk if its level allows,
+// else it is not cached (Spark semantics).
+func (b *BlockManager) put(rdd, part int, m *data.Matrix, level StorageLevel) (spilled, dropped, spillErrs int) {
 	k := blockKey{rdd, part}
 	if _, ok := b.blocks[k]; ok {
-		return 0, 0
+		return 0, 0, 0
 	}
 	size := m.SizeBytes()
 	if size > b.budget {
 		if level == StorageMemoryAndDisk {
+			if b.inj.Fail(faults.SparkSpill) {
+				return 0, 0, 1
+			}
 			b.blocks[k] = &block{m: m, size: size, onDisk: true, level: level}
 		}
-		return 0, 0
+		return 0, 0, 0
 	}
 	for b.used+size > b.budget {
 		victim := b.pickVictim(rdd)
 		if victim == nil {
 			// Everything in memory belongs to this RDD; skip caching.
-			return spilled, dropped
+			return spilled, dropped, spillErrs
 		}
 		vb := b.blocks[*victim]
 		b.dropFromLRU(*victim)
 		b.used -= vb.size
 		if vb.level == StorageMemoryAndDisk {
-			vb.onDisk = true
-			spilled++
+			if b.inj.Fail(faults.SparkSpill) {
+				delete(b.blocks, *victim)
+				spillErrs++
+				dropped++
+			} else {
+				vb.onDisk = true
+				spilled++
+			}
 		} else {
 			delete(b.blocks, *victim)
 			dropped++
@@ -126,7 +144,7 @@ func (b *BlockManager) put(rdd, part int, m *data.Matrix, level StorageLevel) (s
 	b.blocks[k] = &block{m: m, size: size, level: level}
 	b.used += size
 	b.lru = append(b.lru, k)
-	return spilled, dropped
+	return spilled, dropped, spillErrs
 }
 
 // pickVictim returns the LRU in-memory block not belonging to the RDD
@@ -140,6 +158,37 @@ func (b *BlockManager) pickVictim(writingRDD int) *blockKey {
 		}
 	}
 	return nil
+}
+
+// dropExecutor deletes every block (memory and disk) placed on the given
+// executor, modeling executor loss. Keys are visited in sorted order so the
+// walk — and any downstream accounting — is deterministic. Returns the
+// number of blocks lost.
+func (b *BlockManager) dropExecutor(victim, numExec int) int {
+	keys := make([]blockKey, 0, len(b.blocks))
+	for k := range b.blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rdd != keys[j].rdd {
+			return keys[i].rdd < keys[j].rdd
+		}
+		return keys[i].part < keys[j].part
+	})
+	lost := 0
+	for _, k := range keys {
+		if executorOf(k.rdd, k.part, numExec) != victim {
+			continue
+		}
+		blk := b.blocks[k]
+		if !blk.onDisk {
+			b.used -= blk.size
+			b.dropFromLRU(k)
+		}
+		delete(b.blocks, k)
+		lost++
+	}
+	return lost
 }
 
 // remove drops all blocks (memory and disk) of an RDD (unpersist).

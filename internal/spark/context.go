@@ -11,12 +11,21 @@
 package spark
 
 import (
+	"errors"
 	"fmt"
 
 	"memphis/internal/costs"
 	"memphis/internal/data"
+	"memphis/internal/faults"
 	"memphis/internal/vtime"
 )
+
+// ErrStageAbort signals that a stage gave up after MaxTaskFailures
+// consecutive failures of the same task. It propagates as a panic value
+// (the RDD evaluation path returns no errors, matching Spark's DAGScheduler
+// which fails the job from deep inside the scheduler loop) and is recovered
+// at the runtime layer.
+var ErrStageAbort = errors.New("spark: stage aborted: task exceeded max failures")
 
 // Config sizes the simulated cluster.
 type Config struct {
@@ -26,11 +35,15 @@ type Config struct {
 	// JobSlots is the number of Spark jobs that can execute concurrently
 	// (FAIR-scheduler pools); asynchronous operators exploit it.
 	JobSlots int
+	// MaxTaskFailures is how many attempts a task gets before its stage
+	// aborts (spark.task.maxFailures); <= 0 means the default of 4.
+	MaxTaskFailures int
 }
 
 // DefaultConfig mirrors the paper's 8-worker cluster, scaled to simulation.
 func DefaultConfig() Config {
-	return Config{NumExecutors: 8, CoresPerExec: 24, StorageMemory: 64 << 20, JobSlots: 4}
+	return Config{NumExecutors: 8, CoresPerExec: 24, StorageMemory: 64 << 20, JobSlots: 4,
+		MaxTaskFailures: 4}
 }
 
 // Stats counts cluster events; experiments assert on these.
@@ -47,6 +60,13 @@ type Stats struct {
 	ShuffleFileReuses  int64
 	CollectBytes       int64
 	BroadcastBytes     int64
+
+	// Fault-injection recovery events.
+	TaskRetries   int64 // failed task attempts absorbed by stage-level retry
+	FetchFailures int64 // shuffle files lost on fetch (map side recomputed)
+	SpillErrors   int64 // spill writes that failed (victim dropped instead)
+	ExecutorsLost int64 // injected executor losses
+	BlocksLost    int64 // cached blocks lost with their executor
 }
 
 // Context is the entry point to the simulated cluster, playing the role of
@@ -69,6 +89,10 @@ type Context struct {
 	// the driver until destroy() — the dangling-reference problem of
 	// Figure 2(b).
 	driverBroadcastBytes int64
+
+	// inj injects deterministic task, fetch, spill, and executor faults;
+	// nil means none.
+	inj *faults.Injector
 
 	Stats Stats
 }
@@ -105,6 +129,21 @@ func (c *Context) freestSlot() *vtime.Resource {
 		}
 	}
 	return best
+}
+
+// SetInjector installs the fault injector on the context and its block
+// manager (nil disables injection).
+func (c *Context) SetInjector(inj *faults.Injector) {
+	c.inj = inj
+	c.bm.inj = inj
+}
+
+// maxTaskFailures returns the effective task-attempt limit.
+func (c *Context) maxTaskFailures() int {
+	if c.conf.MaxTaskFailures > 0 {
+		return c.conf.MaxTaskFailures
+	}
+	return 4
 }
 
 // Clock returns the virtual clock (for tests).
@@ -161,6 +200,20 @@ func (c *Context) RunJob(r *RDD, parts []int, async bool) ([]*data.Matrix, *vtim
 	if r.ctx != c {
 		panic("spark: RDD from a different context")
 	}
+	// Injected executor loss, decided once per job before any evaluation
+	// (and before the prewarm, so parallel workers observe post-loss state):
+	// every block and shuffle file placed on the victim executor vanishes
+	// and is recomputed from lineage on demand; replacing the executor
+	// charges a fixed re-registration delay.
+	var execLossTime float64
+	if c.inj.Fail(faults.SparkExec) {
+		victim := int(c.inj.Draw(faults.SparkExec) % uint64(c.conf.NumExecutors))
+		lost := c.bm.dropExecutor(victim, c.conf.NumExecutors)
+		lost += c.dropShuffleFiles(r, victim)
+		c.Stats.ExecutorsLost++
+		c.Stats.BlocksLost += int64(lost)
+		execLossTime = c.model.ExecutorReplace
+	}
 	cost := &jobCost{stages: make(map[int]struct{}), memo: make(map[blockKey]*data.Matrix)}
 	if data.Parallelism() > 1 && len(parts) > 1 {
 		cost.warm = c.prewarm(r, parts)
@@ -189,7 +242,7 @@ func (c *Context) RunJob(r *RDD, parts []int, async bool) ([]*data.Matrix, *vtim
 		costs.Compute(cost.flops, c.model.SparkFlops) +
 		costs.Transfer(cost.shuffle, c.model.SparkExchangeBW, 0) +
 		costs.Transfer(cost.disk, c.model.DiskBW, 0) +
-		bcTime
+		bcTime + execLossTime
 	slot := c.freestSlot()
 	if async {
 		f := c.clock.RunAsync(slot, dur, fmt.Sprintf("job(rdd%d)", r.id))
@@ -225,16 +278,35 @@ func (c *Context) evaluate(r *RDD, part int, cost *jobCost) *data.Matrix {
 		return m
 	}
 	// Implicitly cached shuffle files let a wide RDD be recomputed without
-	// re-running its map side.
+	// re-running its map side. An injected fetch failure loses the file —
+	// the recovery is Spark's: fall through and recompute from lineage.
 	if r.wide && r.shuffleFiles != nil {
 		if m := r.shuffleFiles[part]; m != nil {
-			c.Stats.ShuffleFileReuses++
-			cost.disk += m.SizeBytes()
-			return m
+			if c.inj.Fail(faults.SparkFetch) {
+				c.Stats.FetchFailures++
+				r.shuffleFiles[part] = nil
+			} else {
+				c.Stats.ShuffleFileReuses++
+				cost.disk += m.SizeBytes()
+				return m
+			}
 		}
 	}
 	cost.tasks++
 	c.Stats.PartitionsComputed++
+	// Injected task failures: the stage retries the task, charging each
+	// wasted attempt's scheduling overhead and compute; after
+	// MaxTaskFailures attempts the whole stage aborts (Spark's
+	// spark.task.maxFailures semantics).
+	if fails := c.inj.Next(faults.SparkTask); fails > 0 {
+		if fails >= c.maxTaskFailures() {
+			panic(fmt.Errorf("%w: rdd %d partition %d failed %d attempts",
+				ErrStageAbort, r.id, part, fails))
+		}
+		c.Stats.TaskRetries += int64(fails)
+		cost.tasks += fails
+		cost.flops += float64(fails) * r.flopsPerPart(part)
+	}
 	var out *data.Matrix
 	if r.wide {
 		cost.stages[r.id] = struct{}{}
@@ -262,9 +334,10 @@ func (c *Context) evaluate(r *RDD, part int, cost *jobCost) *data.Matrix {
 	}
 	cost.flops += r.flopsPerPart(part)
 	if r.level != StorageNone {
-		spilled, evicted := c.bm.put(r.id, part, out, r.level)
+		spilled, evicted, spillErrs := c.bm.put(r.id, part, out, r.level)
 		c.Stats.DiskSpills += int64(spilled)
 		c.Stats.PartitionsEvicted += int64(evicted)
+		c.Stats.SpillErrors += int64(spillErrs)
 	}
 	cost.memo[blockKey{r.id, part}] = out
 	return out
@@ -293,6 +366,43 @@ func collectBroadcasts(r *RDD) []*Broadcast {
 // CleanShuffles drops the implicit shuffle-file cache of an RDD (modeling
 // ContextCleaner activity when an RDD is garbage collected).
 func (c *Context) CleanShuffles(r *RDD) { r.shuffleFiles = nil }
+
+// dropShuffleFiles removes the shuffle files placed on the given executor
+// from every wide RDD in r's lineage, returning how many were lost.
+func (c *Context) dropShuffleFiles(r *RDD, victim int) int {
+	lost := 0
+	seen := make(map[int]struct{})
+	var walk func(*RDD)
+	walk = func(n *RDD) {
+		if _, ok := seen[n.id]; ok {
+			return
+		}
+		seen[n.id] = struct{}{}
+		if n.wide && n.shuffleFiles != nil {
+			for p, m := range n.shuffleFiles {
+				if m != nil && executorOf(n.id, p, c.conf.NumExecutors) == victim {
+					n.shuffleFiles[p] = nil
+					lost++
+				}
+			}
+		}
+		for _, d := range n.deps {
+			walk(d)
+		}
+	}
+	walk(r)
+	return lost
+}
+
+// executorOf is the deterministic placement of a partition onto an executor
+// (Spark's hash partitioning of block placement, simplified).
+func executorOf(rdd, part, numExec int) int {
+	if numExec <= 0 {
+		return 0
+	}
+	h := uint64(rdd)*2654435761 + uint64(part)*40503 + 0x9e37
+	return int(h % uint64(numExec))
+}
 
 // Shutdown releases everything the cluster retains on behalf of the driver:
 // all cached partitions (memory and disk) and every broadcast variable not

@@ -19,11 +19,13 @@
 package memphis
 
 import (
+	"errors"
 	"fmt"
 
 	"memphis/internal/compiler"
 	"memphis/internal/core"
 	"memphis/internal/data"
+	"memphis/internal/faults"
 	"memphis/internal/gpu"
 	"memphis/internal/ir"
 	"memphis/internal/lineage"
@@ -82,7 +84,21 @@ type Options struct {
 	// Purely a wall-clock knob: results and virtual times are
 	// bitwise-identical for every value.
 	Parallelism int
+
+	// FaultPlan, when non-nil, injects deterministic failures (simulated
+	// GPU OOM, Spark task/fetch/spill/executor faults, driver spill I/O
+	// errors) that the runtime's recovery paths absorb. Same plan, same
+	// virtual-time trace — see faults.Default for chaos-mode probabilities.
+	FaultPlan *FaultPlan
 }
+
+// FaultPlan is a replayable fault scenario (see internal/faults): a seed plus
+// per-site triggers. DefaultFaultPlan gives the chaos-mode defaults.
+type FaultPlan = faults.Plan
+
+// DefaultFaultPlan returns the chaos-mode plan: low per-site probabilities
+// that every recovery path absorbs without failing a run.
+func DefaultFaultPlan(seed int64) *FaultPlan { return faults.Default(seed) }
 
 // Session is an execution context over the simulated multi-backend stack.
 type Session struct {
@@ -140,6 +156,7 @@ func runtimeConfig(opts Options) runtime.Config {
 		GPUCapacity: gcap,
 		GPUPolicy:   pol,
 		Parallelism: opts.Parallelism,
+		Faults:      opts.FaultPlan,
 	}
 }
 
@@ -179,7 +196,10 @@ func (s *Session) Value(name string) *Matrix {
 
 // Lookup fetches a variable's value to the host like Value, but reports
 // unbound names and closed sessions as errors instead of a silent nil.
-func (s *Session) Lookup(name string) (*Matrix, error) {
+// Fetching can run deferred Spark jobs; under fault injection such a job can
+// exhaust its task attempts, which surfaces here as an error rather than a
+// panic.
+func (s *Session) Lookup(name string) (m *Matrix, err error) {
 	if s.ctx.Closed() {
 		return nil, fmt.Errorf("memphis: session is closed")
 	}
@@ -187,6 +207,15 @@ func (s *Session) Lookup(name string) (*Matrix, error) {
 	if v == nil {
 		return nil, fmt.Errorf("memphis: variable %q is not bound", name)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, spark.ErrStageAbort) {
+				m, err = nil, fmt.Errorf("memphis: fetching %q: %w", name, e)
+				return
+			}
+			panic(r)
+		}
+	}()
 	return s.ctx.EnsureHostValue(v), nil
 }
 
@@ -265,6 +294,23 @@ type ServerOptions struct {
 	// MaxQueue and MaxPerTenant bound admission (defaults 1024 and 64).
 	MaxQueue     int
 	MaxPerTenant int
+
+	// Deadline, when positive, fails requests whose virtual latency
+	// (execution plus retry backoff) exceeds it, with serve.ErrDeadline.
+	Deadline float64
+	// MaxRetries is how many times a failed attempt is retried before the
+	// request fails (default 2; negative disables retries). RetryBackoff is
+	// the base of the per-retry exponential virtual-time backoff (default
+	// 0.05 s).
+	MaxRetries   int
+	RetryBackoff float64
+	// ShedThreshold, when positive, sheds new submissions with
+	// serve.ErrOverloaded once the queue reaches this depth.
+	ShedThreshold int
+	// DisabledShards starts the listed shared-cache shards degraded: probes
+	// miss and publishes are rejected, so sessions recompute instead of
+	// failing.
+	DisabledShards []int
 }
 
 // NewServer starts a serving layer whose per-request sessions are built
@@ -288,6 +334,20 @@ func NewServer(opts ServerOptions) *Server {
 		conf.MaxPerTenant = opts.MaxPerTenant
 	}
 	conf.Rewrite = opts.Reuse == ReuseFull
+	// The serving layer owns fault injection per request attempt; the
+	// runtime template must not also carry the plan or each session would
+	// replay one fixed stream.
+	conf.Faults = opts.FaultPlan
+	conf.Runtime.Faults = nil
+	conf.Deadline = opts.Deadline
+	if opts.MaxRetries != 0 {
+		conf.MaxRetries = opts.MaxRetries
+	}
+	if opts.RetryBackoff > 0 {
+		conf.RetryBackoff = opts.RetryBackoff
+	}
+	conf.ShedThreshold = opts.ShedThreshold
+	conf.DisabledShards = opts.DisabledShards
 	return serve.New(conf)
 }
 

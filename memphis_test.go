@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"memphis/internal/data"
+	"memphis/internal/faults"
 	"memphis/internal/ir"
 )
 
@@ -239,5 +240,57 @@ func TestServerFacade(t *testing.T) {
 	}
 	if snap.Completed != 2 || snap.Failed != 0 {
 		t.Fatalf("completed=%d failed=%d, want 2/0", snap.Completed, snap.Failed)
+	}
+}
+
+// TestSessionFaultPlanDeterministic: a session with a chaos plan completes
+// via the recovery paths, matches the fault-free answer, and replays to the
+// identical virtual time.
+func TestSessionFaultPlanDeterministic(t *testing.T) {
+	run := func(plan *FaultPlan) (*Matrix, float64) {
+		s := New(Options{Reuse: ReuseFull, EnableGPU: true, FaultPlan: plan})
+		defer s.Close()
+		bindInputs(s)
+		if err := s.Run(ridgeProgram([]float64{0.01, 0.1})); err != nil {
+			t.Fatalf("faulted run must complete via retries/fallbacks: %v", err)
+		}
+		return s.Value("beta"), s.VirtualTime()
+	}
+	clean, _ := run(nil)
+	faulted, t1 := run(DefaultFaultPlan(3))
+	replay, t2 := run(DefaultFaultPlan(3))
+	if !data.AllClose(clean, faulted, 0) || !data.AllClose(faulted, replay, 0) {
+		t.Fatal("fault injection changed a result")
+	}
+	if t1 != t2 {
+		t.Fatalf("replay virtual time diverged: %v != %v", t1, t2)
+	}
+}
+
+// TestSessionLookupSurfacesStageAbort: a Spark job that exhausts its task
+// attempts during a deferred fetch surfaces as a Lookup error, not a panic.
+func TestSessionLookupSurfacesStageAbort(t *testing.T) {
+	s := New(Options{Reuse: ReuseOff, OpMemBudget: 1 << 10, FaultPlan: &FaultPlan{
+		Seed: 1,
+		Sites: map[faults.Site]faults.Trigger{
+			faults.SparkTask: {Nth: []int64{1}, Attempts: 4},
+		},
+	}})
+	defer s.Close()
+	bindInputs(s)
+	// No action in the program: the Spark job stays lazy through Run and
+	// only executes when Lookup fetches the value.
+	p := ir.NewProgram()
+	p.Main = []ir.Block{ir.BB(ir.Assign("out", ir.TSMM(ir.Var("X"))))}
+	if err := s.Run(p); err != nil {
+		t.Fatalf("lazy program must not fail at Run: %v", err)
+	}
+	if _, err := s.Lookup("out"); err == nil {
+		t.Fatal("stage abort during fetch must surface as a Lookup error")
+	}
+	// The session survives: rebinding and rerunning (fresh injector has
+	// spent its scripted failure) succeeds.
+	if _, err := s.Lookup("X"); err != nil {
+		t.Fatalf("post-abort lookup of an input failed: %v", err)
 	}
 }
