@@ -12,13 +12,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
+	"memphis"
 	"memphis/internal/bench"
 	"memphis/internal/data"
+	"memphis/internal/workloads"
 )
 
 func main() {
@@ -26,10 +30,16 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size variants")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	par := flag.Int("par", 0, "kernel parallelism (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+	mem := flag.Bool("mem", false, "run the memory-arbiter report: per-pool used/budget/pressure and eviction/demotion counters across representative workloads")
+	memBudget := flag.Int64("membudget", 0, "driver-cache (cp pool) budget in bytes for -mem (0 = default); see memphis.Options.MemoryBudgets")
 	flag.Parse()
 
 	if *par > 0 {
 		data.SetParallelism(*par)
+	}
+	if *mem {
+		memReport(*memBudget, *jsonOut)
+		return
 	}
 	if *list {
 		for _, e := range bench.Registry() {
@@ -79,5 +89,68 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(out))
+	}
+}
+
+// memReport runs representative workloads on a full-reuse session and
+// prints the unified memory arbiter's per-pool rows (memphis-bench -mem).
+// A non-zero cpBudget shrinks the driver cache via Options.MemoryBudgets
+// to make eviction, spill, and demotion activity visible.
+func memReport(cpBudget int64, jsonOut bool) {
+	cases := []struct {
+		name  string
+		build func() *workloads.Workload
+	}{
+		{"hcv", func() *workloads.Workload { return workloads.HCV(800, 16, 2, []float64{0.1, 1, 0.1}, 7) }},
+		{"l2svm", func() *workloads.Workload { return workloads.L2SVMMicro(4000, 48, 3, []float64{0.1, 1, 10}, 37) }},
+		{"pnmf", func() *workloads.Workload { return workloads.PNMF(400, 30, 4, 4, 11) }},
+	}
+	type row struct {
+		Workload       string              `json:"workload"`
+		VirtualSeconds float64             `json:"virtual_seconds"`
+		Pools          []memphis.PoolStats `json:"pools"`
+	}
+	var rows []row
+	for _, c := range cases {
+		w := c.build()
+		s := memphis.New(memphis.Options{
+			Reuse:         memphis.ReuseFull,
+			MemoryBudgets: memphis.MemoryBudgets{CP: cpBudget},
+		})
+		inputs := w.HostInputs()
+		names := make([]string, 0, len(inputs))
+		for n := range inputs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s.Bind(n, inputs[n])
+		}
+		if err := s.Run(w.Prog); err != nil {
+			fmt.Fprintf(os.Stderr, "memphis-bench -mem: %s: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		rows = append(rows, row{Workload: c.name, VirtualSeconds: s.VirtualTime(), Pools: s.MemoryStats()})
+		s.Close()
+	}
+	if jsonOut {
+		out, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	for _, r := range rows {
+		fmt.Printf("%s (vtime %.6fs)\n", r.Workload, r.VirtualSeconds)
+		fmt.Printf("  %-12s %12s %12s %9s %9s %7s %9s %7s\n",
+			"pool", "used", "budget", "pressure", "pressEvt", "evict", "evictB", "demote")
+		for _, p := range r.Pools {
+			fmt.Printf("  %-12s %12d %12d %9.3f %9d %7d %9d %7d\n",
+				p.Name, p.Used, p.Budget, p.Pressure, p.PressureEvents,
+				p.Evictions, p.EvictedBytes, p.Demotions)
+		}
+		fmt.Println()
 	}
 }

@@ -73,12 +73,12 @@ var mixes = map[string]mix{
 }
 
 type report struct {
-	Workload          string          `json:"workload"`
-	Tenants           int             `json:"tenants"`
-	RequestsPerTenant int             `json:"requests_per_tenant"`
-	Groups            int             `json:"groups"`
-	Workers           int             `json:"workers"`
-	Sched             string          `json:"sched"`
+	Workload          string `json:"workload"`
+	Tenants           int    `json:"tenants"`
+	RequestsPerTenant int    `json:"requests_per_tenant"`
+	Groups            int    `json:"groups"`
+	Workers           int    `json:"workers"`
+	Sched             string `json:"sched"`
 	// Chaos is set when fault injection is on; ChaosSeed keys the plan.
 	// Snapshot.faults then counts injected failures per site, and
 	// Snapshot.retries the attempts absorbed by the retry loop.

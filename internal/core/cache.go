@@ -24,8 +24,17 @@ import (
 	"memphis/internal/faults"
 	"memphis/internal/gpu"
 	"memphis/internal/lineage"
+	"memphis/internal/memctl"
 	"memphis/internal/spark"
 	"memphis/internal/vtime"
+)
+
+// Arbiter pool names of the cache-managed memory regions.
+const (
+	// PoolCP is the driver lineage cache region.
+	PoolCP = "cp"
+	// PoolSparkReuse is the reuse share of Spark cluster storage.
+	PoolSparkReuse = "spark-reuse"
 )
 
 // Backend identifies where a cached object lives.
@@ -193,6 +202,10 @@ type Cache struct {
 	// inj injects deterministic spill I/O errors; nil means none.
 	inj *faults.Injector
 
+	// arb, when set, receives pressure/eviction/demotion accounting for
+	// the cache's memory regions; nil disables reporting.
+	arb *memctl.Arbiter
+
 	Stats Stats
 }
 
@@ -220,6 +233,37 @@ func NewCache(clock *vtime.Clock, model *costs.Model, conf Config,
 
 // SetInjector installs the fault injector (nil disables injection).
 func (c *Cache) SetInjector(inj *faults.Injector) { c.inj = inj }
+
+// SetArbiter attaches the memory arbiter and registers the cache's two
+// pools (driver cache and Spark reuse share) with it.
+func (c *Cache) SetArbiter(a *memctl.Arbiter) {
+	c.arb = a
+	if a != nil {
+		a.Register(cpPool{c})
+		a.Register(sparkReusePool{c})
+	}
+}
+
+// noteEviction reports one object of size bytes dropped from a pool.
+func (c *Cache) noteEviction(pool string, size int64) {
+	if c.arb != nil {
+		c.arb.NoteEviction(pool, 1, size)
+	}
+}
+
+// noteDemotion reports one object of size bytes moved down the ladder.
+func (c *Cache) noteDemotion(pool string, size int64) {
+	if c.arb != nil {
+		c.arb.NoteDemotion(pool, 1, size)
+	}
+}
+
+// notePressure reports a MAKE_SPACE pressure event against a pool.
+func (c *Cache) notePressure(pool string) {
+	if c.arb != nil {
+		c.arb.NotePressure(pool)
+	}
+}
 
 // Config returns the active configuration.
 func (c *Cache) Config() Config { return c.conf }
@@ -373,6 +417,7 @@ func (c *Cache) invalidateGPU(p *gpu.Pointer) {
 	d2h := costs.Transfer(p.Size(), c.model.D2HBW, c.model.CopyLatency)
 	if v := p.Value(); v != nil && e.ComputeCost > 2*d2h && p.Size() <= c.conf.CPBudget {
 		c.Stats.GPUToHost++
+		c.noteDemotion(gpu.PoolName, p.Size())
 		c.clock.Advance(d2h)
 		c.MakeSpaceCP(p.Size())
 		e.Backend = BackendCP
@@ -382,7 +427,44 @@ func (c *Cache) invalidateGPU(p *gpu.Pointer) {
 		return
 	}
 	c.Stats.GPUInvalidated++
+	c.noteEviction(gpu.PoolName, p.Size())
 	c.removeEntry(e)
+}
+
+// DemoteGPUPointer moves a cached GPU pointer's value into the driver
+// cache: the device-to-host rung of the demotion ladder, charging the D2H
+// transfer exactly once. Unlike invalidateGPU it preserves the value
+// unconditionally — the pointer's live variables need the bytes once the
+// device copy is surrendered — caching it when it fits the CP budget and
+// returning it either way. The caller must then release the device side
+// with Manager.Surrender (not Release/Free), which skips the recycle
+// callback: the entry is already detached here, so no second D2H charge
+// can occur. Returns nil when the pointer wraps no entry or no value.
+func (c *Cache) DemoteGPUPointer(p *gpu.Pointer) *data.Matrix {
+	e, ok := c.gpE[p]
+	if !ok {
+		return nil
+	}
+	v := p.Value()
+	if v == nil {
+		return nil
+	}
+	delete(c.gpE, p)
+	p.Cached = false
+	c.Stats.GPUToHost++
+	c.noteDemotion(gpu.PoolName, p.Size())
+	c.clock.Advance(costs.Transfer(p.Size(), c.model.D2HBW, c.model.CopyLatency))
+	m := v.Clone()
+	if p.Size() <= c.conf.CPBudget {
+		c.MakeSpaceCP(p.Size())
+		e.Backend = BackendCP
+		e.Matrix = m
+		e.GPUPtr = nil
+		c.cpUsed += e.Size
+	} else {
+		c.removeEntry(e)
+	}
+	return m
 }
 
 // shouldStore advances delayed-caching state and reports whether the PUT

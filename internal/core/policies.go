@@ -8,6 +8,7 @@ import (
 	"memphis/internal/faults"
 	"memphis/internal/gpu"
 	"memphis/internal/lineage"
+	"memphis/internal/memctl"
 	"memphis/internal/spark"
 )
 
@@ -61,84 +62,95 @@ func (c *Cache) Matrix(e *Entry) *data.Matrix {
 	return e.Matrix
 }
 
-// cpScore is the driver eviction score, LIMA's hybrid of Cost&Size and
-// recency: the compute-cost-to-size ratio (weighted by hits) is normalized
-// against the cache-wide maximum and combined with the normalized last
-// access time, so recently produced intermediates survive long enough for
-// the pipelines that share them.
-func cpScore(e *Entry, maxRatio, now float64) float64 {
-	s := float64(e.Size)
-	if s <= 0 {
-		s = 1
+// cpCandidate lifts a driver cache entry into the shared scoring shape.
+func cpCandidate(e *Entry) memctl.Candidate {
+	return memctl.Candidate{
+		Hits:        e.Hits,
+		Misses:      e.Misses,
+		Jobs:        e.Jobs,
+		ComputeCost: e.ComputeCost,
+		Size:        e.Size,
+		Height:      e.Height,
+		LastAccess:  e.LastAccess,
 	}
-	ratio := float64(e.Hits+1) * e.ComputeCost / s
-	score := 0.0
-	if maxRatio > 0 {
-		score += ratio / maxRatio
+}
+
+// cpVictim selects the lowest-scored resident CP entry under the shared
+// hybrid policy (memctl.CPWeights: LIMA's Cost&Size ratio, normalized
+// against the cache-wide maximum, plus recency), or nil when nothing is
+// evictable.
+func (c *Cache) cpVictim() *Entry {
+	maxRatio := 0.0
+	for _, chain := range c.entries {
+		for _, e := range chain {
+			if e.Backend != BackendCP || e.Status != StatusCached || e.Matrix == nil {
+				continue
+			}
+			if r := memctl.Ratio(cpCandidate(e), false); r > maxRatio {
+				maxRatio = r
+			}
+		}
 	}
-	if now > 0 {
-		score += e.LastAccess / now
+	norms := memctl.Norms{MaxRatio: maxRatio, Now: c.clock.Now()}
+	var victim *Entry
+	best := math.Inf(1)
+	for _, chain := range c.entries {
+		for _, e := range chain {
+			if e.Backend != BackendCP || e.Status != StatusCached || e.Matrix == nil {
+				continue
+			}
+			if s := memctl.Score(cpCandidate(e), memctl.CPWeights, norms); s < best {
+				best, victim = s, e
+			}
+		}
 	}
-	return score
+	return victim
 }
 
 // MakeSpaceCP evicts driver-cached matrices until need bytes fit in the
 // budget, spilling to disk when configured (MAKE_SPACE of the unified API).
 func (c *Cache) MakeSpaceCP(need int64) {
+	if c.cpUsed+need > c.conf.CPBudget {
+		c.notePressure(PoolCP)
+	}
 	for c.cpUsed+need > c.conf.CPBudget {
-		var victim *Entry
-		best := math.Inf(1)
-		maxRatio := 0.0
-		for _, chain := range c.entries {
-			for _, e := range chain {
-				if e.Backend != BackendCP || e.Status != StatusCached || e.Matrix == nil {
-					continue
-				}
-				sz := float64(e.Size)
-				if sz <= 0 {
-					sz = 1
-				}
-				if r := float64(e.Hits+1) * e.ComputeCost / sz; r > maxRatio {
-					maxRatio = r
-				}
-			}
-		}
-		now := c.clock.Now()
-		for _, chain := range c.entries {
-			for _, e := range chain {
-				if e.Backend != BackendCP || e.Status != StatusCached || e.Matrix == nil {
-					continue
-				}
-				if s := cpScore(e, maxRatio, now); s < best {
-					best, victim = s, e
-				}
-			}
-		}
-		if victim == nil {
+		if _, ok := c.evictOneCP(); !ok {
 			return
 		}
-		c.Stats.EvictionsCP++
-		c.cpUsed -= victim.Size
-		// Spill only when recomputation would cost more than the disk
-		// round trip; cheap intermediates are dropped (LIMA's cost-based
-		// spill decision). An injected spill I/O error drops the victim
-		// instead — it is recomputed from lineage if needed again — after
-		// charging the attempted write.
-		diskRT := 2 * (c.model.SpillSetup + costs.Transfer(victim.Size, c.model.DiskBW, 0))
-		if c.conf.SpillToDisk && victim.ComputeCost > diskRT {
-			c.clock.Advance(c.model.SpillSetup +
-				costs.Transfer(victim.Size, c.model.DiskBW, 0))
-			if c.inj.Fail(faults.CPSpill) {
-				c.Stats.SpillErrorsCP++
-				c.removeEntry(victim)
-			} else {
-				c.Stats.SpillsCP++
-				victim.Status = StatusSpilled
-			}
-		} else {
-			c.removeEntry(victim)
-		}
 	}
+}
+
+// evictOneCP evicts the lowest-scored CP entry — spilling it to disk when
+// recomputation would cost more than the disk round trip (LIMA's cost-based
+// spill decision), dropping it otherwise — and returns the bytes released
+// from driver memory plus whether a victim existed. An injected spill I/O
+// error drops the victim instead — it is recomputed from lineage if needed
+// again — after charging the attempted write.
+func (c *Cache) evictOneCP() (int64, bool) {
+	victim := c.cpVictim()
+	if victim == nil {
+		return 0, false
+	}
+	c.Stats.EvictionsCP++
+	c.cpUsed -= victim.Size
+	diskRT := 2 * (c.model.SpillSetup + costs.Transfer(victim.Size, c.model.DiskBW, 0))
+	if c.conf.SpillToDisk && victim.ComputeCost > diskRT {
+		c.clock.Advance(c.model.SpillSetup +
+			costs.Transfer(victim.Size, c.model.DiskBW, 0))
+		if c.inj.Fail(faults.CPSpill) {
+			c.Stats.SpillErrorsCP++
+			c.noteEviction(PoolCP, victim.Size)
+			c.removeEntry(victim)
+		} else {
+			c.Stats.SpillsCP++
+			c.noteDemotion(PoolCP, victim.Size)
+			victim.Status = StatusSpilled
+		}
+	} else {
+		c.noteEviction(PoolCP, victim.Size)
+		c.removeEntry(victim)
+	}
+	return victim.Size, true
 }
 
 // PutRDD caches a distributed intermediate: the RDD is marked for cluster
@@ -182,13 +194,24 @@ func (c *Cache) PutRDD(item *lineage.Item, r *spark.RDD, children []*spark.RDD,
 	return e
 }
 
-// sparkScore is the Eq. (1) eviction score: argmin (r_h+r_m+r_j)·c/s.
-func sparkScore(e *Entry) float64 {
-	s := float64(e.Size)
-	if s <= 0 {
-		s = 1
+// sparkVictim selects the lowest-scored reuse RDD under the shared policy
+// instance for Spark: Eq. (1), argmin (r_h+r_m+r_j)·c/s (memctl.SparkWeights
+// with MaxRatio 1 keeps the historical unnormalized ordering exactly).
+func (c *Cache) sparkVictim() *Entry {
+	norms := memctl.Norms{MaxRatio: 1}
+	var victim *Entry
+	best := math.Inf(1)
+	for _, chain := range c.entries {
+		for _, e := range chain {
+			if e.Backend != BackendSpark || e.Status != StatusCached || e.RDD == nil {
+				continue
+			}
+			if s := memctl.Score(cpCandidate(e), memctl.SparkWeights, norms); s < best {
+				best, victim = s, e
+			}
+		}
 	}
-	return float64(e.Hits+e.Misses+e.Jobs) * e.ComputeCost / s
+	return victim
 }
 
 // MakeSpaceSpark unpersists reuse RDDs with the lowest Eq. (1) scores until
@@ -196,27 +219,29 @@ func sparkScore(e *Entry) float64 {
 // asynchronous in Spark; temporary overflow is absorbed by partition
 // spilling in the block manager, so no driver time is charged.
 func (c *Cache) MakeSpaceSpark(need int64) {
+	if c.sparkUsed+need > c.conf.SparkBudget {
+		c.notePressure(PoolSparkReuse)
+	}
 	for c.sparkUsed+need > c.conf.SparkBudget {
-		var victim *Entry
-		best := math.Inf(1)
-		for _, chain := range c.entries {
-			for _, e := range chain {
-				if e.Backend != BackendSpark || e.Status != StatusCached || e.RDD == nil {
-					continue
-				}
-				if s := sparkScore(e); s < best {
-					best, victim = s, e
-				}
-			}
-		}
-		if victim == nil {
+		if _, ok := c.evictOneSpark(); !ok {
 			return
 		}
-		c.Stats.UnpersistsSpark++
-		c.sparkUsed -= victim.Size
-		victim.RDD.Unpersist()
-		c.removeEntry(victim)
 	}
+}
+
+// evictOneSpark unpersists the lowest-scored reuse RDD, returning the
+// bytes released from the reuse share plus whether a victim existed.
+func (c *Cache) evictOneSpark() (int64, bool) {
+	victim := c.sparkVictim()
+	if victim == nil {
+		return 0, false
+	}
+	c.Stats.UnpersistsSpark++
+	c.sparkUsed -= victim.Size
+	c.noteEviction(PoolSparkReuse, victim.Size)
+	victim.RDD.Unpersist()
+	c.removeEntry(victim)
+	return victim.Size, true
 }
 
 // OnRDDReuse performs the Spark-side bookkeeping of a successful RDD entry

@@ -63,7 +63,7 @@ func TestAllocatorTilingProperty(t *testing.T) {
 			Seed:  seed,
 			Sites: map[faults.Site]faults.Trigger{faults.GPUAlloc: {Probability: 0.3}},
 		}))
-		var owned []*Pointer // pointers with a live reference we must release
+		var owned []*Pointer  // pointers with a live reference we must release
 		var parked []*Pointer // released pointers that may sit in the free list
 		for step := 0; step < 2000; step++ {
 			switch op := rng.Intn(10); {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"memphis/internal/faults"
+	"memphis/internal/memctl"
 )
 
 // Policy selects the allocator behaviour, emulating the systems compared in
@@ -114,22 +115,22 @@ func (m *Manager) FreeBytes() int64 {
 	return b
 }
 
-// score computes the Eq. 2 eviction score; lower is recycled first.
+// candidate lifts a pointer into the shared scoring shape.
+func candidate(p *Pointer) memctl.Candidate {
+	return memctl.Candidate{
+		ComputeCost: p.ComputeCost,
+		Size:        p.size,
+		Height:      p.Height,
+		LastAccess:  p.LastAccess,
+	}
+}
+
+// score computes the Eq. 2 eviction score via the shared policy instance
+// (memctl.GPUWeights: recency + 1/height + normalized compute cost);
+// lower is recycled first.
 func (m *Manager) score(p *Pointer) float64 {
-	now := m.dev.clock.Now()
-	ta := 0.0
-	if now > 0 {
-		ta = p.LastAccess / now
-	}
-	h := float64(p.Height)
-	if h < 1 {
-		h = 1
-	}
-	c := 0.0
-	if m.maxCost > 0 {
-		c = p.ComputeCost / m.maxCost
-	}
-	return ta + 1/h + c
+	return memctl.Score(candidate(p), memctl.GPUWeights,
+		memctl.Norms{Now: m.dev.clock.Now(), MaxCost: m.maxCost})
 }
 
 // popFreeExact removes and returns the lowest-score free pointer of exactly
@@ -288,8 +289,11 @@ func (m *Manager) Allocate(size int64, height int, computeCost float64) (*Pointe
 		}
 	}
 	m.Stats.FullCleanups++
-	// Step 5: device-to-host eviction of cached live pointers.
-	if m.hostEvictor != nil {
+	// Step 5: device-to-host eviction of cached live pointers. Gated on
+	// the device actually being full: an injected transient cudaMalloc
+	// failure with room available is recovered by the retries below, and
+	// demoting there would perturb virtual time for chaos replays.
+	if m.hostEvictor != nil && m.dev.Available() < size {
 		if released := m.hostEvictor(size); released > 0 {
 			m.Stats.HostEvictions++
 			if np, err := m.dev.Malloc(size); err == nil {
@@ -336,6 +340,13 @@ func (m *Manager) Release(p *Pointer) {
 		p.RefCount--
 	}
 	if p.RefCount == 0 {
+		// A release beyond the last reference (e.g. two variables aliasing
+		// one value, each dropping its name) must not insert the pointer
+		// into the free list a second time: the duplicate would be freed
+		// twice when the list drains. Only a live pointer transitions.
+		if _, live := m.live[p]; !live {
+			return
+		}
 		delete(m.live, p)
 		if m.Policy == PolicyNone {
 			m.releaseFreePointer(p)
@@ -369,7 +380,12 @@ func (m *Manager) EvictPercent(frac float64) int64 {
 	if frac <= 0 {
 		return 0
 	}
-	target := int64(float64(m.FreeBytes()) * frac)
+	return m.evictFreeBytes(int64(float64(m.FreeBytes()) * frac))
+}
+
+// evictFreeBytes releases free-list pointers in eviction-score order until
+// target bytes are returned to the device (or the list is empty).
+func (m *Manager) evictFreeBytes(target int64) int64 {
 	var released int64
 	for released < target {
 		p := m.popFreeAny()
@@ -422,6 +438,94 @@ func (m *Manager) Close() {
 		}
 		m.dev.Free(p)
 	}
+}
+
+// PoolName is the arbiter pool name of GPU device memory.
+const PoolName = "gpu"
+
+// DemotableLive returns the live cached pointers (those wrapped by lineage
+// cache entries) in ascending eviction-score order, tie-broken by device
+// address for determinism — the candidate list for the device-to-host rung
+// of the demotion ladder.
+func (m *Manager) DemotableLive() []*Pointer {
+	var out []*Pointer
+	for p := range m.live {
+		if p.Cached && !p.freed {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := m.score(out[i]), m.score(out[j])
+		if si != sj {
+			return si < sj
+		}
+		return out[i].addr < out[j].addr
+	})
+	return out
+}
+
+// Surrender removes a pointer from the manager and frees its device memory
+// without invoking the recycle callback: the caller (the demotion ladder)
+// has already detached the lineage-cache side and charged the D2H transfer,
+// so invoking the callback would charge it a second time.
+func (m *Manager) Surrender(p *Pointer) {
+	if p.freed {
+		return
+	}
+	delete(m.live, p)
+	m.removeFromFree(p)
+	p.RefCount = 0
+	m.dev.Free(p)
+}
+
+// memPool adapts the manager to memctl.Pool. Used/Budget are the raw device
+// occupancy; Evict releases recyclable free-list pointers; Demote runs the
+// runtime-installed demoter, which moves cached live pointers down to the
+// host cache through the lineage cache.
+type memPool struct {
+	m       *Manager
+	demoter func(need int64) int64
+}
+
+func (p memPool) Name() string  { return PoolName }
+func (p memPool) Used() int64   { return p.m.dev.Used() }
+func (p memPool) Budget() int64 { return p.m.dev.Capacity() }
+
+func (p memPool) Victims(max int) []memctl.Victim {
+	var ptrs []*Pointer
+	for _, q := range p.m.free {
+		ptrs = append(ptrs, q...)
+	}
+	sort.Slice(ptrs, func(i, j int) bool {
+		si, sj := p.m.score(ptrs[i]), p.m.score(ptrs[j])
+		if si != sj {
+			return si < sj
+		}
+		return ptrs[i].addr < ptrs[j].addr
+	})
+	if max >= 0 && len(ptrs) > max {
+		ptrs = ptrs[:max]
+	}
+	out := make([]memctl.Victim, len(ptrs))
+	for i, q := range ptrs {
+		out[i] = memctl.Victim{Candidate: candidate(q), Score: p.m.score(q)}
+	}
+	return out
+}
+
+func (p memPool) Evict(need int64) int64 { return p.m.evictFreeBytes(need) }
+
+func (p memPool) Demote(need int64) int64 {
+	if p.demoter == nil {
+		return 0
+	}
+	return p.demoter(need)
+}
+
+// MemPool returns the arbiter pool view of device memory. demoter (may be
+// nil) implements the device-to-host rung of the demotion ladder.
+func (m *Manager) MemPool(demoter func(need int64) int64) memctl.Pool {
+	return memPool{m: m, demoter: demoter}
 }
 
 // recycleExact serves an allocation by recycling the lowest-score free

@@ -357,3 +357,22 @@ func TestPolicyNoneFreesImmediately(t *testing.T) {
 		t.Fatal("PolicyNone must not pool freed pointers")
 	}
 }
+
+func TestReleaseBeyondLastReferenceIsNoOp(t *testing.T) {
+	// Two variables can alias one pointer and each drop their name; the
+	// second Release arrives with RefCount already at zero. It must not
+	// insert the pointer into the free list a second time — the duplicate
+	// would be freed twice when the list drains (Close, EvictPercent, or
+	// an allocation under pressure), panicking the device allocator.
+	m, _ := newTestManager(4096)
+	p, err := m.Allocate(1024, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Release(p)
+	m.Release(p)
+	if m.FreeCount() != 1 {
+		t.Fatalf("FreeCount = %d after double release, want 1", m.FreeCount())
+	}
+	m.Close() // drains the free list; a duplicate entry would double free
+}

@@ -1,0 +1,141 @@
+// Package memctl is MEMPHIS's unified cross-backend memory arbiter: one
+// victim-scoring function and one pool registry shared by every memory
+// region in the system — the driver's lineage cache (CP), the reuse share
+// of Spark cluster storage, the Spark block manager's partition region,
+// the GPU device pool, and the serving layer's per-tenant shared-cache
+// shares. The paper's holistic-memory-management claim (§4) is that these
+// regions must be reasoned about jointly rather than by isolated
+// evictors; this package is where that joint reasoning lives.
+//
+// Scoring. Every backend ranks eviction candidates with Score, a single
+// hybrid of four normalized terms — cost-per-byte ratio, recency, DAG
+// height, and raw compute cost — weighted per pool:
+//
+//	score(o) = w_r·(freq(o)·c(o)/s(o))/maxRatio + w_a·T_a(o)
+//	         + w_h·1/h(o) + w_c·c(o)/maxCost
+//
+// The driver cache uses LIMA's hybrid (ratio + recency), Spark reuse
+// RDDs use Eq. (1) ((r_h+r_m+r_j)·c/s, unnormalized), the GPU manager
+// uses Eq. (2) (recency + 1/height + cost), and the block manager's LRU
+// is the degenerate recency-only instance. Lower scores evict first.
+//
+// Arbitration. Pools register with an Arbiter that owns the cross-backend
+// demotion ladder (GPU → host cache → disk spill; Spark block → disk or
+// drop-for-lineage-recompute) and per-pool pressure/eviction/demotion
+// counters. MakeSpace prefers demotion — which keeps the value reachable
+// in a lower tier — while the system as a whole has headroom, and falls
+// back to eviction when global pressure leaves nowhere to demote to.
+package memctl
+
+// Candidate is the backend-independent description of one eviction
+// candidate: the metadata every pool already tracks per object, lifted
+// into a common shape so a single scoring function can rank them.
+type Candidate struct {
+	Hits   int64 // r_h: successful reuses
+	Misses int64 // r_m: touches while a placeholder
+	Jobs   int64 // r_j: jobs that referenced the object (Spark)
+
+	ComputeCost float64 // c(o): estimated compute cost, seconds
+	Size        int64   // s(o): object size, bytes
+	Height      int     // h(o): producing lineage-DAG height
+	LastAccess  float64 // T_a(o): virtual time (or sequence) of last use
+}
+
+// Weights selects which score terms a pool uses and how strongly. The
+// zero value scores everything 0; use one of the preset instances.
+type Weights struct {
+	// CostSize weights the normalized cost-per-byte ratio
+	// freq·c/s / maxRatio (LIMA's Cost&Size term).
+	CostSize float64
+	// EqOne switches the ratio's frequency factor from the driver's
+	// hit-weighted r_h+1 to Spark Eq. (1)'s r_h+r_m+r_j.
+	EqOne bool
+	// Recency weights the normalized last-access time T_a = last/now.
+	Recency float64
+	// Height weights the inverse lineage height 1/h (Eq. 2: deep
+	// intermediates are cheap to lose, input-pipeline roots are not).
+	Height float64
+	// Cost weights the normalized compute cost c/maxCost (Eq. 2).
+	Cost float64
+}
+
+// Preset weight vectors reproducing each backend's historical policy as
+// an instance of the one shared formula.
+var (
+	// CPWeights is the driver cache's hybrid of Cost&Size and recency.
+	CPWeights = Weights{CostSize: 1, Recency: 1}
+	// SparkWeights is Eq. (1): (r_h+r_m+r_j)·c/s. Pass Norms.MaxRatio=1
+	// to keep the historical unnormalized ordering.
+	SparkWeights = Weights{CostSize: 1, EqOne: true}
+	// GPUWeights is Eq. (2): T_a + 1/h + c/maxCost.
+	GPUWeights = Weights{Recency: 1, Height: 1, Cost: 1}
+	// LRUWeights is recency-only: with a monotone touch sequence as
+	// LastAccess, the minimum score is exactly the LRU victim (the block
+	// manager's partition policy, §2.2).
+	LRUWeights = Weights{Recency: 1}
+)
+
+// Norms carries the pool-wide normalization constants of one victim
+// selection pass. Non-positive fields disable their term (matching the
+// historical guards: an empty pool has no max ratio, time zero has no
+// recency ordering).
+type Norms struct {
+	MaxRatio float64 // max freq·c/s across candidates (1 = unnormalized)
+	MaxCost  float64 // running max compute cost (GPU manager)
+	Now      float64 // current virtual time or sequence counter
+}
+
+// Ratio returns the cost-per-byte ratio freq·c/s of a candidate: the
+// Cost&Size numerator with the hit-weighted frequency r_h+1, or Spark
+// Eq. (1)'s r_h+r_m+r_j when eqOne is set. Sizes are clamped to one byte
+// so zero-sized metadata objects rank as maximally cheap to keep.
+func Ratio(c Candidate, eqOne bool) float64 {
+	s := float64(c.Size)
+	if s <= 0 {
+		s = 1
+	}
+	freq := float64(c.Hits + 1)
+	if eqOne {
+		freq = float64(c.Hits + c.Misses + c.Jobs)
+	}
+	return freq * c.ComputeCost / s
+}
+
+// MaxRatio returns the largest Ratio across candidates — the CostSize
+// normalizer of one selection pass. It is order-independent, so callers
+// may feed candidates from map iteration.
+func MaxRatio(cands []Candidate, eqOne bool) float64 {
+	max := 0.0
+	for _, c := range cands {
+		if r := Ratio(c, eqOne); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Score is the unified victim score; the minimum across a pool's
+// candidates is evicted (or recycled, or demoted) first. Terms are
+// accumulated in a fixed order (ratio, recency, height, cost) so a pool
+// using any weight subset reproduces its historical floating-point
+// result bit for bit.
+func Score(c Candidate, w Weights, n Norms) float64 {
+	s := 0.0
+	if w.CostSize != 0 && n.MaxRatio > 0 {
+		s += w.CostSize * (Ratio(c, w.EqOne) / n.MaxRatio)
+	}
+	if w.Recency != 0 && n.Now > 0 {
+		s += w.Recency * (c.LastAccess / n.Now)
+	}
+	if w.Height != 0 {
+		h := float64(c.Height)
+		if h < 1 {
+			h = 1
+		}
+		s += w.Height * (1 / h)
+	}
+	if w.Cost != 0 && n.MaxCost > 0 {
+		s += w.Cost * (c.ComputeCost / n.MaxCost)
+	}
+	return s
+}

@@ -12,6 +12,7 @@ import (
 	"memphis/internal/gpu"
 	"memphis/internal/ir"
 	"memphis/internal/lineage"
+	"memphis/internal/memctl"
 	"memphis/internal/spark"
 	"memphis/internal/vtime"
 )
@@ -140,6 +141,11 @@ type Context struct {
 	LMap  *lineage.Map
 	Conf  Config
 
+	// Arb is the unified memory arbiter: every backend memory region (CP
+	// cache, Spark reuse share, Spark storage, GPU device) registers with
+	// it, and the cross-backend demotion ladder runs through it.
+	Arb *memctl.Arbiter
+
 	// Shared is the optional cross-session reuse level (serving layer),
 	// attached with AttachShared together with the Tenant identity.
 	Shared SharedCache
@@ -193,7 +199,15 @@ func New(conf Config) *Context {
 		ctx.GM.Policy = conf.GPUPolicy
 	}
 	ctx.Cache = core.NewCache(clock, model, conf.Cache, ctx.SC, ctx.GM)
+	// Register every backend memory region with the arbiter, in a fixed
+	// order (cp, spark-reuse, spark, gpu) so snapshots are stable.
+	ctx.Arb = memctl.NewArbiter()
+	ctx.Cache.SetArbiter(ctx.Arb)
+	if ctx.SC != nil {
+		ctx.SC.SetArbiter(ctx.Arb)
+	}
 	if ctx.GM != nil {
+		ctx.Arb.Register(ctx.GM.MemPool(ctx.demoteGPUToHost))
 		ctx.GM.SetHostEvictor(ctx.evictGPUToHost)
 	}
 	if conf.Faults != nil {
@@ -347,8 +361,47 @@ func (ctx *Context) Close() error {
 func (ctx *Context) Closed() bool { return ctx.closed }
 
 // evictGPUToHost is the device-to-host eviction hook invoked by the GPU
-// memory manager when recycling cannot satisfy an allocation: live cached
-// (reference-count-zero entries are already in the free list, so this
-// concerns cached pointers still referenced) is rare; the simulator evicts
-// nothing and lets the caller fall back to CP execution.
-func (ctx *Context) evictGPUToHost(need int64) int64 { return 0 }
+// memory manager when recycling cannot satisfy an allocation (Algorithm 1
+// step 5, reached only when the device is genuinely full). It routes the
+// request through the arbiter, whose ladder demotes cached live pointers
+// to the host cache (and from there, under cascading pressure, to disk
+// spill) before falling back to in-pool eviction.
+func (ctx *Context) evictGPUToHost(need int64) int64 {
+	return ctx.Arb.MakeSpace(gpu.PoolName, need)
+}
+
+// demoteGPUToHost is the GPU pool's Demote implementation: move the
+// lowest-scored cached live pointers down to the host cache until need
+// bytes of device memory are released. Each pointer's value crosses the
+// bus exactly once — Cache.DemoteGPUPointer detaches the lineage entry
+// and charges the D2H transfer, then Surrender frees the device side
+// without triggering the recycle callback. Variables still referencing
+// the pointer are handed the host matrix so execution falls back to CP
+// transparently.
+func (ctx *Context) demoteGPUToHost(need int64) int64 {
+	if ctx.GM == nil {
+		return 0
+	}
+	var freed int64
+	for _, p := range ctx.GM.DemotableLive() {
+		if freed >= need {
+			break
+		}
+		m := ctx.Cache.DemoteGPUPointer(p)
+		if m == nil {
+			continue
+		}
+		for _, v := range ctx.vars {
+			if v.GPU == p {
+				if v.M == nil {
+					v.M = m
+				}
+				v.GPU = nil
+			}
+		}
+		size := p.Size()
+		ctx.GM.Surrender(p)
+		freed += size
+	}
+	return freed
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"sort"
+
+	"memphis/internal/memctl"
+)
+
+// GlobalPoolName is the arbiter pool name of the whole shared cache.
+const GlobalPoolName = "shared"
+
+// TenantPoolName returns the arbiter pool name of one tenant's share.
+func TenantPoolName(tenant string) string { return "tenant:" + tenant }
+
+// victimsByAge collects scored eviction candidates across all shards,
+// filtered by account (nil means every tenant) and ranked by publish
+// order through the shared policy's recency-only instance: ticks and
+// global sequences are unique and monotone, so the minimum score is
+// exactly the oldest entry — the same victim Publish would evict next.
+func (s *SharedCache) victimsByAge(acct *tenantAccount, now uint64, seqOf func(*entryMeta) uint64, max int) []memctl.Victim {
+	norms := memctl.Norms{Now: float64(now)}
+	var out []memctl.Victim
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, md := range sh.meta {
+			if acct != nil && md.acct != acct {
+				continue
+			}
+			cand := memctl.Candidate{
+				Size:        md.size,
+				ComputeCost: md.computeCost,
+				LastAccess:  float64(seqOf(md)),
+			}
+			out = append(out, memctl.Victim{Candidate: cand, Score: memctl.Score(cand, memctl.LRUWeights, norms)})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	if max >= 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// globalPool is the arbiter view of the whole shared cache. There is no
+// lower tier (a dropped entry is recomputed by the next session that needs
+// it), so Demote returns 0 and MakeSpace falls through to eviction.
+type globalPool struct{ s *SharedCache }
+
+func (p globalPool) Name() string  { return GlobalPoolName }
+func (p globalPool) Used() int64   { return p.s.bytesStored.Load() }
+func (p globalPool) Budget() int64 { return p.s.conf.Budget }
+
+func (p globalPool) Victims(max int) []memctl.Victim {
+	return p.s.victimsByAge(nil, p.s.gseq.Load(), func(md *entryMeta) uint64 { return md.gseq }, max)
+}
+
+func (p globalPool) Evict(need int64) int64 {
+	var freed int64
+	for freed < need {
+		n := p.s.evictGlobalOldest()
+		if n == 0 {
+			break
+		}
+		freed += n
+	}
+	return freed
+}
+
+func (p globalPool) Demote(need int64) int64 { return 0 }
+
+// tenantPool is the arbiter view of one tenant's budgeted share. Eviction
+// is oldest-first within the tenant's own entries, keeping non-overlapping
+// tenants decoupled (the per-tenant determinism guarantee).
+type tenantPool struct {
+	s      *SharedCache
+	acct   *tenantAccount
+	tenant string
+}
+
+func (p tenantPool) Name() string  { return TenantPoolName(p.tenant) }
+func (p tenantPool) Used() int64   { return p.acct.usage.Load() }
+func (p tenantPool) Budget() int64 { return p.s.conf.TenantBudget }
+
+func (p tenantPool) Victims(max int) []memctl.Victim {
+	return p.s.victimsByAge(p.acct, p.acct.tick.Load(), func(md *entryMeta) uint64 { return md.tick }, max)
+}
+
+func (p tenantPool) Evict(need int64) int64 {
+	var freed int64
+	for freed < need {
+		n := p.s.evictTenantOldest(p.acct)
+		if n == 0 {
+			break
+		}
+		freed += n
+	}
+	return freed
+}
+
+func (p tenantPool) Demote(need int64) int64 { return 0 }

@@ -379,3 +379,53 @@ func TestSharedCacheGlobalBudget(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedCachePoolStats drives tenant-budget evictions and checks the
+// arbiter surface: the global pool row first, per-tenant rows with truthful
+// pressure/eviction counters, and Victims ranked oldest-first.
+func TestSharedCachePoolStats(t *testing.T) {
+	sc := NewSharedCache(SharedConfig{Shards: 4, Budget: 64 << 10, TenantBudget: 8 << 10})
+	m := data.RandNorm(32, 16, 0, 1, 3) // 4 KB
+	for i := 0; i < 6; i++ {
+		item := lineage.NewItem("tsmm", "", lineage.NewLeaf("read", fmt.Sprintf("X%d", i)))
+		if _, stored := sc.Publish("a", item, uint64(i+1), m, 1.0); !stored {
+			t.Fatalf("publish %d rejected", i)
+		}
+	}
+	st := sc.StatsSnapshot()
+	if len(st.Pools) != 2 || st.Pools[0].Name != GlobalPoolName {
+		t.Fatalf("pools %v, want [shared tenant:a]", st.Pools)
+	}
+	ta := st.Pools[1]
+	if ta.Name != TenantPoolName("a") {
+		t.Fatalf("tenant pool name %q", ta.Name)
+	}
+	if ta.Used != 8<<10 || ta.Budget != 8<<10 || ta.Pressure != 1.0 {
+		t.Fatalf("tenant pool used=%d budget=%d pressure=%v", ta.Used, ta.Budget, ta.Pressure)
+	}
+	// Four publishes went over budget; each evicted exactly one 4KB entry.
+	if ta.PressureEvents != 4 || ta.Evictions != 4 || ta.EvictedBytes != 16<<10 {
+		t.Fatalf("tenant counters %+v, want 4 pressure / 4 evictions / 16KB", ta.Counters)
+	}
+	if ta.Demotions != 0 {
+		t.Fatalf("serve pools have no lower tier, got %d demotions", ta.Demotions)
+	}
+	// Global pool: no pressure (64KB budget), but every eviction is also a
+	// departure from the shared level.
+	gl := st.Pools[0]
+	if gl.Used != 8<<10 || gl.PressureEvents != 0 || gl.Evictions != 4 {
+		t.Fatalf("global pool %+v", gl)
+	}
+	// Victims rank oldest publish first: the first surviving entry (the 5th
+	// published) is the cheapest to lose.
+	vs := sc.Arbiter().Pool(TenantPoolName("a")).Victims(-1)
+	if len(vs) != 2 {
+		t.Fatalf("victims %d, want 2", len(vs))
+	}
+	if vs[0].Score >= vs[1].Score {
+		t.Fatalf("victims not in ascending score order: %v", vs)
+	}
+	if vs[0].LastAccess != 5 || vs[1].LastAccess != 6 {
+		t.Fatalf("victim ticks %v/%v, want 5/6", vs[0].LastAccess, vs[1].LastAccess)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"memphis/internal/costs"
 	"memphis/internal/data"
 	"memphis/internal/lineage"
+	"memphis/internal/memctl"
 	"memphis/internal/vtime"
 )
 
@@ -112,6 +113,13 @@ type shard struct {
 type SharedCache struct {
 	conf   SharedConfig
 	shards []*shard
+	// arb is the serving layer's own memory arbiter: one global pool plus
+	// one pool per tenant, all budget enforcement in Publish routed through
+	// Arbiter.MakeSpace so pressure and eviction counters are uniform with
+	// the session-side pools. Tenant pools partition the global pool's
+	// bytes, so arbiter totals intentionally double-count here; only the
+	// per-pool rows are meaningful.
+	arb *memctl.Arbiter
 
 	accMu    sync.RWMutex
 	accounts map[string]*tenantAccount
@@ -133,8 +141,10 @@ func NewSharedCache(conf SharedConfig) *SharedCache {
 	conf.fill()
 	s := &SharedCache{
 		conf:     conf,
+		arb:      memctl.NewArbiter(),
 		accounts: make(map[string]*tenantAccount),
 	}
+	s.arb.Register(globalPool{s})
 	s.shards = make([]*shard, conf.Shards)
 	for i := range s.shards {
 		sh := &shard{front: s, meta: make(map[*core.Entry]*entryMeta)}
@@ -203,11 +213,14 @@ func (s *SharedCache) account(tenant string) *tenantAccount {
 		return a
 	}
 	s.accMu.Lock()
-	defer s.accMu.Unlock()
 	if a = s.accounts[tenant]; a == nil {
 		a = &tenantAccount{}
 		s.accounts[tenant] = a
 	}
+	s.accMu.Unlock()
+	// Registration is idempotent (replace-by-name keeps counters), so the
+	// race between two first-touches of a tenant is harmless.
+	s.arb.Register(tenantPool{s: s, acct: a, tenant: tenant})
 	return a
 }
 
@@ -223,6 +236,10 @@ func (sh *shard) onDrop(e *core.Entry) {
 	md.acct.usage.Add(-md.size)
 	sh.front.evictions.Add(1)
 	md.acct.evictions.Add(1)
+	// The entry left the shared level entirely (no lower tier), so both the
+	// tenant pool and the global pool record an eviction.
+	sh.front.arb.NoteEviction(TenantPoolName(md.tenant), 1, md.size)
+	sh.front.arb.NoteEviction(GlobalPoolName, 1, md.size)
 }
 
 // Probe implements runtime.SharedCache: REUSE under the shard lock. A hit
@@ -284,14 +301,27 @@ func (s *SharedCache) Publish(tenant string, item *lineage.Item, sig uint64, m *
 	if degraded {
 		return charge, false
 	}
+	// Both budget checks are arbiter-driven MAKE_SPACE calls against the
+	// corresponding pool; the pools' Evict mechanisms are the same oldest-
+	// first searches as before, so the victim sequence — and therefore every
+	// virtual latency — is unchanged. The outer loops re-check usage because
+	// concurrent publishers may race on the coupled global path.
 	acct := s.account(tenant)
-	for acct.usage.Load()+size > s.conf.TenantBudget {
-		if !s.evictTenantOldest(acct) {
+	for {
+		over := acct.usage.Load() + size - s.conf.TenantBudget
+		if over <= 0 {
+			break
+		}
+		if s.arb.MakeSpace(TenantPoolName(tenant), over) == 0 {
 			return charge, false
 		}
 	}
-	for s.bytesStored.Load()+size > s.conf.Budget {
-		if !s.evictGlobalOldest() {
+	for {
+		over := s.bytesStored.Load() + size - s.conf.Budget
+		if over <= 0 {
+			break
+		}
+		if s.arb.MakeSpace(GlobalPoolName, over) == 0 {
 			return charge, false
 		}
 	}
@@ -325,72 +355,80 @@ func (s *SharedCache) Publish(tenant string, item *lineage.Item, sig uint64, m *
 	return charge, true
 }
 
-// evictTenantOldest drops the tenant's oldest entry (lowest publish tick).
-// Victim search never holds two shard locks: candidates are collected one
-// shard at a time, then the winner is re-checked under its own lock.
-func (s *SharedCache) evictTenantOldest(acct *tenantAccount) bool {
+// evictTenantOldest drops the tenant's oldest entry (lowest publish tick)
+// and returns its size, or 0 when the tenant has no entries. Victim search
+// never holds two shard locks: candidates are collected one shard at a
+// time, then the winner is re-checked under its own lock.
+func (s *SharedCache) evictTenantOldest(acct *tenantAccount) int64 {
 	for {
 		var bestShard *shard
 		var bestKey *lineage.Item
 		var bestTick uint64
+		var bestSize int64
 		found := false
 		for _, sh := range s.shards {
 			sh.mu.Lock()
 			for _, md := range sh.meta {
 				if md.acct == acct && (!found || md.tick < bestTick) {
 					found, bestTick = true, md.tick
-					bestShard, bestKey = sh, md.key
+					bestShard, bestKey, bestSize = sh, md.key, md.size
 				}
 			}
 			sh.mu.Unlock()
 		}
 		if !found {
-			return false
+			return 0
 		}
 		bestShard.mu.Lock()
 		dropped := bestShard.cache.DropItem(bestKey)
 		bestShard.mu.Unlock()
 		if dropped {
-			return true
+			return bestSize
 		}
 		// The candidate vanished between passes; rescan.
 	}
 }
 
 // evictGlobalOldest drops the globally oldest entry (lowest global publish
-// sequence). Only reached when tenant budgets overcommit the global budget;
-// this path is concurrency-safe but couples tenants, so virtual latencies
-// are no longer interleaving-independent.
-func (s *SharedCache) evictGlobalOldest() bool {
+// sequence) and returns its size, or 0 when the cache is empty. Only
+// reached when tenant budgets overcommit the global budget; this path is
+// concurrency-safe but couples tenants, so virtual latencies are no longer
+// interleaving-independent.
+func (s *SharedCache) evictGlobalOldest() int64 {
 	for {
 		var bestShard *shard
 		var bestKey *lineage.Item
 		var bestSeq uint64
+		var bestSize int64
 		found := false
 		for _, sh := range s.shards {
 			sh.mu.Lock()
 			for _, md := range sh.meta {
 				if !found || md.gseq < bestSeq {
 					found, bestSeq = true, md.gseq
-					bestShard, bestKey = sh, md.key
+					bestShard, bestKey, bestSize = sh, md.key, md.size
 				}
 			}
 			sh.mu.Unlock()
 		}
 		if !found {
-			return false
+			return 0
 		}
 		bestShard.mu.Lock()
 		dropped := bestShard.cache.DropItem(bestKey)
 		bestShard.mu.Unlock()
 		if dropped {
-			return true
+			return bestSize
 		}
 	}
 }
 
 // BytesStored returns the resident shared-cache bytes.
 func (s *SharedCache) BytesStored() int64 { return s.bytesStored.Load() }
+
+// Arbiter exposes the serving layer's memory arbiter (global pool plus one
+// pool per tenant) for monitoring and tests.
+func (s *SharedCache) Arbiter() *memctl.Arbiter { return s.arb }
 
 // Clear drops every entry and resets usage (stats counters are kept).
 func (s *SharedCache) Clear() {
@@ -431,9 +469,12 @@ type SharedStats struct {
 	BytesStored         int64                  `json:"bytes_stored"`
 	Entries             int                    `json:"entries"`
 	CrossTenantHitRatio float64                `json:"cross_tenant_hit_ratio"` // cross-tenant hits per probe
-	DegradedProbes      int64                  `json:"degraded_probes"` // probes answered "miss" by a disabled shard
+	DegradedProbes      int64                  `json:"degraded_probes"`        // probes answered "miss" by a disabled shard
 	DisabledShards      int                    `json:"disabled_shards"`
 	PerTenant           map[string]TenantStats `json:"per_tenant"`
+	// Pools is the arbiter's per-pool pressure/eviction surface: the global
+	// pool first (registration order), then one row per tenant.
+	Pools []memctl.PoolStats `json:"pools,omitempty"`
 }
 
 // StatsSnapshot returns a consistent-enough view of the shared cache for
@@ -473,5 +514,6 @@ func (s *SharedCache) StatsSnapshot() SharedStats {
 		}
 	}
 	s.accMu.RUnlock()
+	st.Pools = s.arb.Snapshot()
 	return st
 }

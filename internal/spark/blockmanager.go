@@ -1,11 +1,16 @@
 package spark
 
 import (
+	"math"
 	"sort"
 
 	"memphis/internal/data"
 	"memphis/internal/faults"
+	"memphis/internal/memctl"
 )
+
+// PoolName is the arbiter pool name of the cluster storage region.
+const PoolName = "spark"
 
 // blockKey identifies one cached partition.
 type blockKey struct {
@@ -19,21 +24,29 @@ type block struct {
 	size   int64
 	onDisk bool
 	level  StorageLevel
+	// seq is the monotone touch sequence of the block's last access; the
+	// in-memory block with the minimum sequence is the LRU victim.
+	seq int64
 }
 
 // BlockManager models the cluster's aggregate storage region: cached
 // partitions live in memory up to a budget; on pressure, the least recently
 // used partitions of other RDDs are evicted — dropped for MEMORY-level
 // RDDs (recomputed from Spark lineage on next access) or spilled for
-// MEMORY_AND_DISK (§2.2).
+// MEMORY_AND_DISK (§2.2). LRU is expressed through the shared policy's
+// recency-only instance (memctl.LRUWeights) over the touch sequence.
 type BlockManager struct {
 	budget int64
 	used   int64
 	blocks map[blockKey]*block
-	// lru holds keys of in-memory blocks, least recently used first.
-	lru []blockKey
+	// seq is the touch-sequence counter; every access gets a fresh value,
+	// so block sequences are unique and victim selection is deterministic.
+	seq int64
 	// inj injects deterministic spill I/O errors; nil means none.
 	inj *faults.Injector
+	// arb, when set, receives pressure/eviction/demotion accounting for
+	// the storage region; nil disables reporting.
+	arb *memctl.Arbiter
 }
 
 func newBlockManager(budget int64) *BlockManager {
@@ -46,23 +59,11 @@ func (b *BlockManager) Budget() int64 { return b.budget }
 // Used returns the bytes of in-memory cached partitions.
 func (b *BlockManager) Used() int64 { return b.used }
 
-// touch moves k to the MRU end of the LRU list.
+// touch records a fresh access to an in-memory block.
 func (b *BlockManager) touch(k blockKey) {
-	for i, e := range b.lru {
-		if e == k {
-			b.lru = append(b.lru[:i], b.lru[i+1:]...)
-			break
-		}
-	}
-	b.lru = append(b.lru, k)
-}
-
-func (b *BlockManager) dropFromLRU(k blockKey) {
-	for i, e := range b.lru {
-		if e == k {
-			b.lru = append(b.lru[:i], b.lru[i+1:]...)
-			return
-		}
+	if blk, ok := b.blocks[k]; ok {
+		b.seq++
+		blk.seq = b.seq
 	}
 }
 
@@ -118,46 +119,70 @@ func (b *BlockManager) put(rdd, part int, m *data.Matrix, level StorageLevel) (s
 		}
 		return 0, 0, 0
 	}
+	if b.used+size > b.budget {
+		b.notePressure()
+	}
 	for b.used+size > b.budget {
 		victim := b.pickVictim(rdd)
 		if victim == nil {
 			// Everything in memory belongs to this RDD; skip caching.
 			return spilled, dropped, spillErrs
 		}
-		vb := b.blocks[*victim]
-		b.dropFromLRU(*victim)
-		b.used -= vb.size
-		if vb.level == StorageMemoryAndDisk {
-			if b.inj.Fail(faults.SparkSpill) {
-				delete(b.blocks, *victim)
-				spillErrs++
-				dropped++
-			} else {
-				vb.onDisk = true
-				spilled++
-			}
-		} else {
-			delete(b.blocks, *victim)
-			dropped++
-		}
+		s, d, e := b.evictBlock(*victim)
+		spilled += s
+		dropped += d
+		spillErrs += e
 	}
-	b.blocks[k] = &block{m: m, size: size, level: level}
+	b.seq++
+	b.blocks[k] = &block{m: m, size: size, level: level, seq: b.seq}
 	b.used += size
-	b.lru = append(b.lru, k)
 	return spilled, dropped, spillErrs
+}
+
+// evictBlock pushes one in-memory block out of the memory region: spilled
+// to disk for MEMORY_AND_DISK blocks (the storage region's rung of the
+// demotion ladder), dropped for MEMORY-level blocks (recomputed from Spark
+// lineage on next access). An injected spill I/O error turns the spill
+// into a drop.
+func (b *BlockManager) evictBlock(k blockKey) (spilled, dropped, spillErrs int) {
+	vb := b.blocks[k]
+	b.used -= vb.size
+	if vb.level == StorageMemoryAndDisk {
+		if b.inj.Fail(faults.SparkSpill) {
+			delete(b.blocks, k)
+			b.noteEviction(vb.size)
+			return 0, 1, 1
+		}
+		vb.onDisk = true
+		b.noteDemotion(vb.size)
+		return 1, 0, 0
+	}
+	delete(b.blocks, k)
+	b.noteEviction(vb.size)
+	return 0, 1, 0
 }
 
 // pickVictim returns the LRU in-memory block not belonging to the RDD
 // currently being written (Spark never evicts blocks of the same RDD to
-// admit its own partitions).
+// admit its own partitions; pass a negative id to consider every RDD).
+// Ranking goes through the shared policy's recency-only instance: with
+// unique monotone touch sequences the minimum score is exactly the LRU
+// block, and the argmin over map iteration is deterministic.
 func (b *BlockManager) pickVictim(writingRDD int) *blockKey {
-	for _, k := range b.lru {
-		if k.rdd != writingRDD {
+	norms := memctl.Norms{Now: float64(b.seq)}
+	var victim *blockKey
+	best := math.Inf(1)
+	for k, blk := range b.blocks {
+		if blk.onDisk || k.rdd == writingRDD {
+			continue
+		}
+		cand := memctl.Candidate{Size: blk.size, LastAccess: float64(blk.seq)}
+		if s := memctl.Score(cand, memctl.LRUWeights, norms); s < best {
 			k := k
-			return &k
+			best, victim = s, &k
 		}
 	}
-	return nil
+	return victim
 }
 
 // dropExecutor deletes every block (memory and disk) placed on the given
@@ -183,7 +208,6 @@ func (b *BlockManager) dropExecutor(victim, numExec int) int {
 		blk := b.blocks[k]
 		if !blk.onDisk {
 			b.used -= blk.size
-			b.dropFromLRU(k)
 		}
 		delete(b.blocks, k)
 		lost++
@@ -197,7 +221,6 @@ func (b *BlockManager) remove(rdd int) {
 		if k.rdd == rdd {
 			if !blk.onDisk {
 				b.used -= blk.size
-				b.dropFromLRU(k)
 			}
 			delete(b.blocks, k)
 		}
@@ -221,6 +244,101 @@ func (b *BlockManager) NumBlocks() int { return len(b.blocks) }
 // clear drops every cached block (memory and disk) across all RDDs.
 func (b *BlockManager) clear() {
 	b.blocks = make(map[blockKey]*block)
-	b.lru = nil
+	b.seq = 0
 	b.used = 0
 }
+
+// notePressure/noteEviction/noteDemotion report storage-region activity to
+// the arbiter when one is attached.
+func (b *BlockManager) notePressure() {
+	if b.arb != nil {
+		b.arb.NotePressure(PoolName)
+	}
+}
+
+func (b *BlockManager) noteEviction(size int64) {
+	if b.arb != nil {
+		b.arb.NoteEviction(PoolName, 1, size)
+	}
+}
+
+func (b *BlockManager) noteDemotion(size int64) {
+	if b.arb != nil {
+		b.arb.NoteDemotion(PoolName, 1, size)
+	}
+}
+
+// bmPool adapts the storage region to memctl.Pool. Evict pushes LRU
+// blocks of any RDD out of memory (spill-or-drop by storage level);
+// Demote spills only MEMORY_AND_DISK blocks, leaving MEMORY blocks for
+// lineage recomputation.
+type bmPool struct{ b *BlockManager }
+
+func (p bmPool) Name() string  { return PoolName }
+func (p bmPool) Used() int64   { return p.b.used }
+func (p bmPool) Budget() int64 { return p.b.budget }
+
+func (p bmPool) Victims(max int) []memctl.Victim {
+	norms := memctl.Norms{Now: float64(p.b.seq)}
+	var out []memctl.Victim
+	for _, blk := range p.b.blocks {
+		if blk.onDisk {
+			continue
+		}
+		cand := memctl.Candidate{Size: blk.size, LastAccess: float64(blk.seq)}
+		out = append(out, memctl.Victim{Candidate: cand, Score: memctl.Score(cand, memctl.LRUWeights, norms)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	if max >= 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+func (p bmPool) Evict(need int64) int64 {
+	var freed int64
+	for freed < need {
+		victim := p.b.pickVictim(-1)
+		if victim == nil {
+			break
+		}
+		size := p.b.blocks[*victim].size
+		p.b.evictBlock(*victim)
+		freed += size
+	}
+	return freed
+}
+
+func (p bmPool) Demote(need int64) int64 {
+	norms := memctl.Norms{Now: float64(p.b.seq)}
+	var freed int64
+	for freed < need {
+		var victim *blockKey
+		best := math.Inf(1)
+		for k, blk := range p.b.blocks {
+			if blk.onDisk || blk.level != StorageMemoryAndDisk {
+				continue
+			}
+			cand := memctl.Candidate{Size: blk.size, LastAccess: float64(blk.seq)}
+			if s := memctl.Score(cand, memctl.LRUWeights, norms); s < best {
+				k := k
+				best, victim = s, &k
+			}
+		}
+		if victim == nil {
+			break
+		}
+		size := p.b.blocks[*victim].size
+		if spilled, _, _ := p.b.evictBlock(*victim); spilled == 0 {
+			// Injected spill failure: the block was dropped, which still
+			// frees memory but is an eviction, not a demotion.
+			freed += size
+			continue
+		}
+		freed += size
+	}
+	return freed
+}
+
+// MemPool returns the arbiter pool view of the storage region.
+func (b *BlockManager) MemPool() memctl.Pool { return bmPool{b} }

@@ -17,6 +17,7 @@ import (
 	"memphis/internal/costs"
 	"memphis/internal/data"
 	"memphis/internal/faults"
+	"memphis/internal/memctl"
 	"memphis/internal/vtime"
 )
 
@@ -136,6 +137,15 @@ func (c *Context) freestSlot() *vtime.Resource {
 func (c *Context) SetInjector(inj *faults.Injector) {
 	c.inj = inj
 	c.bm.inj = inj
+}
+
+// SetArbiter attaches the memory arbiter to the block manager and
+// registers the storage region as a pool (nil disables reporting).
+func (c *Context) SetArbiter(a *memctl.Arbiter) {
+	c.bm.arb = a
+	if a != nil {
+		a.Register(c.bm.MemPool())
+	}
 }
 
 // maxTaskFailures returns the effective task-attempt limit.

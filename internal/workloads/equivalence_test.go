@@ -1,0 +1,213 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/data"
+	"memphis/internal/faults"
+	"memphis/internal/gpu"
+	"memphis/internal/runtime"
+	"memphis/internal/spark"
+)
+
+// tightCtx builds a full-MEMPHIS context with a constrained driver cache
+// (and optionally a constrained device), so eviction, spill, and demotion
+// paths are exercised end to end.
+func tightCtx(cpBudget, gpuCap int64, gpuOn bool, opMem int64, plan *faults.Plan) *runtime.Context {
+	comp := compiler.DefaultConfig()
+	comp.OpMemBudget = opMem
+	comp.GPUEnabled = gpuOn
+	comp.GPUMinCells = 256
+	comp.Async = true
+	comp.MaxParallelize = true
+	comp.CheckpointInjection = true
+	cache := core.DefaultConfig()
+	cache.CPBudget = cpBudget
+	pol := gpu.PolicyNone
+	if gpuOn {
+		pol = gpu.PolicyMemphis
+	}
+	return runtime.New(runtime.Config{
+		Mode:        runtime.ReuseMemphis,
+		Compiler:    comp,
+		Cache:       cache,
+		Spark:       spark.DefaultConfig(),
+		GPUCapacity: gpuCap,
+		GPUPolicy:   pol,
+		Faults:      plan,
+	})
+}
+
+// runPinned executes one workload under full MEMPHIS rewrites and returns
+// the formatted virtual time, output checksum, and cache statistics.
+func runPinned(t *testing.T, ctx *runtime.Context, w *Workload, out string) (string, uint64, core.Stats) {
+	t.Helper()
+	compiler.AutoTune(w.Prog)
+	compiler.InjectLoopCheckpoints(w.Prog)
+	compiler.InjectEvictions(w.Prog)
+	if _, err := w.Run(ctx); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	v := ctx.Var(out)
+	if v == nil {
+		t.Fatalf("%s: output %q unbound", w.Name, out)
+	}
+	return fmt.Sprintf("%.9f", ctx.Clock.Now()), ctx.EnsureHostValue(v).Checksum(), ctx.Cache.Stats
+}
+
+// runLadder executes the hyperparameter-dropout workload under a device
+// small enough (48 KB) that the arbiter's demotion ladder must move live
+// GPU pointers to the host cache, and a driver cache small enough (16 KB)
+// that the host cache is itself under eviction pressure. Returns the
+// pinned trace triple for equivalence comparisons.
+func runLadder(t *testing.T, plan *faults.Plan) (string, uint64, core.Stats) {
+	t.Helper()
+	ctx := tightCtx(16<<10, 48<<10, true, 1<<30, plan)
+	defer ctx.Close()
+	w := HDrop(128, 6, 30, []float64{0.1, 0.3}, 2, 32, 19)
+	return runPinned(t, ctx, w, "bestLoss")
+}
+
+// runSpillLadder executes PNMF with Spark offload and a tight driver cache,
+// the configuration whose collected results are expensive enough that the
+// host cache's cost-aware policy spills them to disk instead of dropping.
+func runSpillLadder(t *testing.T, plan *faults.Plan) (string, uint64, core.Stats) {
+	t.Helper()
+	ctx := tightCtx(32<<10, 0, false, 8<<10, plan)
+	defer ctx.Close()
+	w := PNMF(400, 30, 4, 4, 11)
+	return runPinned(t, ctx, w, "obj")
+}
+
+// TestLadderRoundTripAcrossParallelism drives both segments of the
+// demotion ladder — GPU -> host cache (HDrop on a 48 KB device) and host
+// cache -> disk spill (PNMF on a 32 KB driver cache) — and checks that each
+// workload's result, virtual time, and every cache counter are identical at
+// kernel parallelism 1, 4, and 8. The ladder must actually fire: the HDrop
+// run needs non-zero demotions and host evictions, the PNMF run non-zero
+// disk spills, or the configurations are not exercising the paths.
+func TestLadderRoundTripAcrossParallelism(t *testing.T) {
+	prev := data.Parallelism()
+	defer data.SetParallelism(prev)
+
+	data.SetParallelism(1)
+	vtimeG, sumG, csG := runLadder(t, nil)
+	if csG.GPUToHost == 0 || csG.EvictionsCP == 0 {
+		t.Fatalf("GPU->host segment not exercised (stats %+v)", csG)
+	}
+	vtimeS, sumS, csS := runSpillLadder(t, nil)
+	if csS.SpillsCP == 0 {
+		t.Fatalf("host->disk segment not exercised (stats %+v)", csS)
+	}
+	for _, par := range []int{4, 8} {
+		data.SetParallelism(par)
+		v, s, c := runLadder(t, nil)
+		if v != vtimeG || s != sumG || c != csG {
+			t.Errorf("hdrop at parallelism %d diverged: vtime %s (want %s), checksum %#x (want %#x), stats %+v (want %+v)",
+				par, v, vtimeG, s, sumG, c, csG)
+		}
+		v, s, c = runSpillLadder(t, nil)
+		if v != vtimeS || s != sumS || c != csS {
+			t.Errorf("pnmf at parallelism %d diverged: vtime %s (want %s), checksum %#x (want %#x), stats %+v (want %+v)",
+				par, v, vtimeS, s, sumS, c, csS)
+		}
+	}
+}
+
+// TestLadderUnderChaos replays the same ladder workload under the default
+// chaos fault plan: two runs with the same seed must be bitwise identical
+// (same virtual time, checksum, counters), and recovery must preserve the
+// workload result — the chaos checksum equals the fault-free checksum.
+func TestLadderUnderChaos(t *testing.T) {
+	_, cleanSum, _ := runLadder(t, nil)
+
+	v1, s1, c1 := runLadder(t, faults.Default(1234))
+	v2, s2, c2 := runLadder(t, faults.Default(1234))
+	if v1 != v2 || s1 != s2 || c1 != c2 {
+		t.Errorf("chaos replay not bitwise identical: vtime %s vs %s, checksum %#x vs %#x, stats %+v vs %+v",
+			v1, v2, s1, s2, c1, c2)
+	}
+	if s1 != cleanSum {
+		t.Errorf("chaos result checksum %#x differs from fault-free %#x", s1, cleanSum)
+	}
+	if c1.GPUToHost == 0 {
+		t.Errorf("no GPU->host demotions under chaos (stats %+v)", c1)
+	}
+}
+
+// TestPinnedBaselines pins the end-to-end behavior of the representative
+// workloads — virtual time to the nanosecond, output checksums, and hit or
+// eviction counts — against values captured on the seed before memory
+// management was unified under internal/memctl. Any policy drift (scoring,
+// eviction order, demotion charges) shows up here as an exact-value diff.
+func TestPinnedBaselines(t *testing.T) {
+	cases := []struct {
+		name     string
+		out      string
+		gpu      bool
+		cpBudget int64
+		opMem    int64
+		build    func() *Workload
+
+		vtime    string
+		checksum uint64
+		hitsCP   int64
+		hitsRDD  int64
+		hitsFunc int64
+		hitsAct  int64
+		misses   int64
+		evictCP  int64
+		spillCP  int64
+	}{
+		{"hcv", "best", false, 16 << 20, 2 << 20,
+			func() *Workload { return HCV(800, 16, 2, []float64{0.1, 1, 0.1}, 7) },
+			"0.000595363", 0xd3331a59932e982c, 10, 0, 2, 0, 97, 0, 0},
+		{"l2svm", "acc", false, 16 << 20, 1 << 30,
+			func() *Workload { return L2SVMMicro(4000, 48, 3, []float64{0.1, 1, 10}, 37) },
+			"0.000783441", 0x2b1ccd1f3704c7d2, 28, 0, 0, 0, 98, 0, 0},
+		{"pnmf", "obj", false, 16 << 20, 8 << 10,
+			func() *Workload { return PNMF(400, 30, 4, 4, 11) },
+			"0.519273472", 0xa642bdc2f8b585ce, 2, 1, 0, 1, 83, 0, 0},
+		{"cnn", "score", true, 16 << 20, 1 << 30,
+			func() *Workload { return EnsembleCNN(32, 8, 6, 6, 0.5, 41) },
+			"0.007336667", 0x210822314b096b11, 0, 0, 0, 0, 96, 0, 0},
+		// Tight driver caches drive the LIMA eviction and spill policies.
+		{"hcv-tight", "best", false, 48 << 10, 2 << 20,
+			func() *Workload { return HCV(800, 16, 2, []float64{0.1, 1, 0.1}, 7) },
+			"0.000595363", 0xd3331a59932e982c, 10, 0, 2, 0, 97, 0, 0},
+		{"l2svm-tight", "acc", false, 256 << 10, 1 << 30,
+			func() *Workload { return L2SVMMicro(4000, 48, 3, []float64{0.1, 1, 10}, 37) },
+			"0.000867523", 0x2b1ccd1f3704c7d2, 6, 0, 0, 0, 120, 81, 0},
+		{"pnmf-tight", "obj", false, 32 << 10, 8 << 10,
+			func() *Workload { return PNMF(400, 30, 4, 4, 11) },
+			"0.529330432", 0xa642bdc2f8b585ce, 2, 1, 0, 1, 83, 21, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gpuCap := int64(0)
+			if tc.gpu {
+				gpuCap = 32 << 20 // the capture contexts' device size
+			}
+			ctx := tightCtx(tc.cpBudget, gpuCap, tc.gpu, tc.opMem, nil)
+			defer ctx.Close()
+			vtime, sum, cs := runPinned(t, ctx, tc.build(), tc.out)
+			if vtime != tc.vtime {
+				t.Errorf("vtime %s, want %s", vtime, tc.vtime)
+			}
+			if sum != tc.checksum {
+				t.Errorf("checksum %#x, want %#x", sum, tc.checksum)
+			}
+			got := []int64{cs.HitsCP, cs.HitsRDD, cs.HitsFunc, cs.HitsActon, cs.Misses, cs.EvictionsCP, cs.SpillsCP}
+			want := []int64{tc.hitsCP, tc.hitsRDD, tc.hitsFunc, tc.hitsAct, tc.misses, tc.evictCP, tc.spillCP}
+			names := []string{"hitsCP", "hitsRDD", "hitsFunc", "hitsActon", "misses", "evictCP", "spillCP"}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("%s = %d, want %d", names[i], got[i], want[i])
+				}
+			}
+		})
+	}
+}

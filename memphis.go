@@ -29,6 +29,7 @@ import (
 	"memphis/internal/gpu"
 	"memphis/internal/ir"
 	"memphis/internal/lineage"
+	"memphis/internal/memctl"
 	"memphis/internal/runtime"
 	"memphis/internal/serve"
 	"memphis/internal/spark"
@@ -90,6 +91,22 @@ type Options struct {
 	// errors) that the runtime's recovery paths absorb. Same plan, same
 	// virtual-time trace — see faults.Default for chaos-mode probabilities.
 	FaultPlan *FaultPlan
+
+	// MemoryBudgets sets explicit per-pool byte budgets for the unified
+	// memory arbiter. Zero fields keep the defaults; non-zero CP and GPU
+	// take precedence over CacheBudget and GPUCapacity.
+	MemoryBudgets MemoryBudgets
+}
+
+// MemoryBudgets names the byte budgets of the arbiter's pools: the driver
+// lineage cache (CP), the reuse share of cluster storage (SparkReuse), the
+// cluster storage region itself (Spark), and device memory (GPU). Session
+// MemoryStats reports one row per pool under these budgets.
+type MemoryBudgets struct {
+	CP         int64 // driver lineage cache (default 16 MB)
+	SparkReuse int64 // reuse share of cluster storage (default 48 MB)
+	Spark      int64 // cluster storage region (default 64 MB)
+	GPU        int64 // device capacity, when EnableGPU is set (default 48 MB)
 }
 
 // FaultPlan is a replayable fault scenario (see internal/faults): a seed plus
@@ -121,6 +138,16 @@ func runtimeConfig(opts Options) runtime.Config {
 	if opts.CacheBudget > 0 {
 		cache.CPBudget = opts.CacheBudget
 	}
+	if opts.MemoryBudgets.CP > 0 {
+		cache.CPBudget = opts.MemoryBudgets.CP
+	}
+	if opts.MemoryBudgets.SparkReuse > 0 {
+		cache.SparkBudget = opts.MemoryBudgets.SparkReuse
+	}
+	sparkConf := spark.DefaultConfig()
+	if opts.MemoryBudgets.Spark > 0 {
+		sparkConf.StorageMemory = opts.MemoryBudgets.Spark
+	}
 	mode := runtime.ReuseNone
 	switch opts.Reuse {
 	case ReuseLocal:
@@ -141,6 +168,9 @@ func runtimeConfig(opts Options) runtime.Config {
 	pol := gpu.PolicyNone
 	if opts.EnableGPU {
 		gcap = opts.GPUCapacity
+		if opts.MemoryBudgets.GPU > 0 {
+			gcap = opts.MemoryBudgets.GPU
+		}
 		if gcap == 0 {
 			gcap = 48 << 20
 		}
@@ -152,7 +182,7 @@ func runtimeConfig(opts Options) runtime.Config {
 		Mode:        mode,
 		Compiler:    comp,
 		Cache:       cache,
-		Spark:       spark.DefaultConfig(),
+		Spark:       sparkConf,
 		GPUCapacity: gcap,
 		GPUPolicy:   pol,
 		Parallelism: opts.Parallelism,
@@ -230,8 +260,30 @@ func (s *Session) Close() error { return s.ctx.Close() }
 // deterministic simulated execution time all experiments report.
 func (s *Session) VirtualTime() float64 { return s.ctx.Clock.Now() }
 
-// Stats returns the runtime statistics (instruction counts, reuses).
-func (s *Session) Stats() runtime.Stats { return s.ctx.Stats }
+// PoolStats is one memory pool's snapshot row: name, used/budget bytes,
+// pressure ratio, and the pool's pressure/eviction/demotion counters.
+type PoolStats = memctl.PoolStats
+
+// Stats is the session statistics surface: the runtime counters
+// (instruction counts, reuses) plus the unified memory arbiter's per-pool
+// pressure and demotion rows.
+type Stats struct {
+	runtime.Stats
+	Memory []PoolStats `json:"memory,omitempty"`
+}
+
+// Stats returns the runtime statistics (instruction counts, reuses) with
+// the memory arbiter's per-pool rows attached.
+func (s *Session) Stats() Stats {
+	return Stats{Stats: s.ctx.Stats, Memory: s.MemoryStats()}
+}
+
+// MemoryStats returns the per-pool pressure/demotion counters of the
+// session's memory arbiter, in fixed registration order: the driver cache
+// ("cp"), the reuse share of cluster storage ("spark-reuse"), the cluster
+// storage region ("spark"), and — when the GPU is enabled — the device
+// pool ("gpu").
+func (s *Session) MemoryStats() []PoolStats { return s.ctx.Arb.Snapshot() }
 
 // CacheStats returns the lineage cache statistics (hits per backend,
 // evictions, spills, lazy GC activity).

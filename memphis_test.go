@@ -294,3 +294,46 @@ func TestSessionLookupSurfacesStageAbort(t *testing.T) {
 		t.Fatalf("post-abort lookup of an input failed: %v", err)
 	}
 }
+
+// TestMemoryBudgetsAndStats checks the facade's arbiter surface: a tight
+// MemoryBudgets.CP forces driver-cache pressure, and Stats/MemoryStats
+// report per-pool rows with truthful counters in fixed pool order.
+func TestMemoryBudgetsAndStats(t *testing.T) {
+	// 600 bytes: the 512-byte gram matrix fits alone, so caching its grid
+	// siblings must evict — deterministic driver-cache pressure.
+	s := New(Options{Reuse: ReuseFull, MemoryBudgets: MemoryBudgets{CP: 600, Spark: 32 << 20}})
+	defer s.Close()
+	bindInputs(s)
+	if err := s.Run(ridgeProgram([]float64{0.1, 0.2, 0.3})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(ridgeProgram([]float64{0.1, 0.2, 0.3})); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Instructions == 0 {
+		t.Fatal("runtime counters missing from Stats")
+	}
+	pools := st.Memory
+	if len(pools) != 3 {
+		t.Fatalf("pools = %d, want 3 (cp, spark-reuse, spark)", len(pools))
+	}
+	for i, want := range []string{"cp", "spark-reuse", "spark"} {
+		if pools[i].Name != want {
+			t.Fatalf("pool[%d] = %q, want %q", i, pools[i].Name, want)
+		}
+	}
+	cp := pools[0]
+	if cp.Budget != 600 {
+		t.Fatalf("cp budget = %d, want MemoryBudgets.CP", cp.Budget)
+	}
+	if cp.PressureEvents == 0 || cp.Evictions+cp.Demotions == 0 {
+		t.Fatalf("tight cp budget produced no pressure: %+v", cp.Counters)
+	}
+	if cp.Used > cp.Budget {
+		t.Fatalf("cp over budget: used %d > %d", cp.Used, cp.Budget)
+	}
+	if pools[2].Budget != 32<<20 {
+		t.Fatalf("spark budget = %d, want MemoryBudgets.Spark", pools[2].Budget)
+	}
+}
