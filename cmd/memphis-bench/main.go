@@ -30,15 +30,16 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-size variants")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	par := flag.Int("par", 0, "kernel parallelism (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
-	mem := flag.Bool("mem", false, "run the memory-arbiter report: per-pool used/budget/pressure and eviction/demotion counters across representative workloads")
+	mem := flag.Bool("mem", false, "run the memory-arbiter report: per-pool used/peak/budget/pressure and eviction/demotion counters across representative workloads")
 	memBudget := flag.Int64("membudget", 0, "driver-cache (cp pool) budget in bytes for -mem (0 = default); see memphis.Options.MemoryBudgets")
+	planOn := flag.Bool("plan", false, "with -mem: enable the compile-time memory planner and report evictions per planned stream")
 	flag.Parse()
 
 	if *par > 0 {
 		data.SetParallelism(*par)
 	}
 	if *mem {
-		memReport(*memBudget, *jsonOut)
+		memReport(*memBudget, *planOn, *jsonOut)
 		return
 	}
 	if *list {
@@ -93,10 +94,12 @@ func main() {
 }
 
 // memReport runs representative workloads on a full-reuse session and
-// prints the unified memory arbiter's per-pool rows (memphis-bench -mem).
-// A non-zero cpBudget shrinks the driver cache via Options.MemoryBudgets
-// to make eviction, spill, and demotion activity visible.
-func memReport(cpBudget int64, jsonOut bool) {
+// prints the unified memory arbiter's per-pool rows (memphis-bench -mem),
+// including each pool's peak (high-water) bytes. A non-zero cpBudget
+// shrinks the driver cache via Options.MemoryBudgets to make eviction,
+// spill, and demotion activity visible; planOn additionally enables the
+// memory planner and appends an evictions-per-planned-stream table.
+func memReport(cpBudget int64, planOn, jsonOut bool) {
 	cases := []struct {
 		name  string
 		build func() *workloads.Workload
@@ -105,10 +108,22 @@ func memReport(cpBudget int64, jsonOut bool) {
 		{"l2svm", func() *workloads.Workload { return workloads.L2SVMMicro(4000, 48, 3, []float64{0.1, 1, 10}, 37) }},
 		{"pnmf", func() *workloads.Workload { return workloads.PNMF(400, 30, 4, 4, 11) }},
 	}
+	type planRow struct {
+		Seq       int     `json:"seq"`
+		Sig       string  `json:"sig"`
+		Runs      int64   `json:"runs"`
+		PeakBytes int64   `json:"peak_bytes"`
+		Frees     int     `json:"frees"`
+		Splits    int     `json:"splits"`
+		Evictions int64   `json:"evictions"`
+		Predicted int64   `json:"predicted_evictions"`
+		EvPerRun  float64 `json:"ev_per_run"`
+	}
 	type row struct {
 		Workload       string              `json:"workload"`
 		VirtualSeconds float64             `json:"virtual_seconds"`
 		Pools          []memphis.PoolStats `json:"pools"`
+		Plans          []planRow           `json:"plans,omitempty"`
 	}
 	var rows []row
 	for _, c := range cases {
@@ -116,6 +131,7 @@ func memReport(cpBudget int64, jsonOut bool) {
 		s := memphis.New(memphis.Options{
 			Reuse:         memphis.ReuseFull,
 			MemoryBudgets: memphis.MemoryBudgets{CP: cpBudget},
+			MemoryPlanner: planOn,
 		})
 		inputs := w.HostInputs()
 		names := make([]string, 0, len(inputs))
@@ -130,7 +146,18 @@ func memReport(cpBudget int64, jsonOut bool) {
 			fmt.Fprintf(os.Stderr, "memphis-bench -mem: %s: %v\n", c.name, err)
 			os.Exit(1)
 		}
-		rows = append(rows, row{Workload: c.name, VirtualSeconds: s.VirtualTime(), Pools: s.MemoryStats()})
+		r := row{Workload: c.name, VirtualSeconds: s.VirtualTime(), Pools: s.MemoryStats()}
+		if planOn {
+			for _, p := range s.PlanReports() {
+				pr := planRow{Seq: p.Seq, Sig: p.Sig, Runs: p.Runs, PeakBytes: p.PeakBytes,
+					Frees: p.Frees, Splits: p.Splits, Evictions: p.Evictions, Predicted: p.PredictedEvictions}
+				if p.Runs > 0 {
+					pr.EvPerRun = float64(p.Evictions) / float64(p.Runs)
+				}
+				r.Plans = append(r.Plans, pr)
+			}
+		}
+		rows = append(rows, r)
 		s.Close()
 	}
 	if jsonOut {
@@ -144,12 +171,21 @@ func memReport(cpBudget int64, jsonOut bool) {
 	}
 	for _, r := range rows {
 		fmt.Printf("%s (vtime %.6fs)\n", r.Workload, r.VirtualSeconds)
-		fmt.Printf("  %-12s %12s %12s %9s %9s %7s %9s %7s\n",
-			"pool", "used", "budget", "pressure", "pressEvt", "evict", "evictB", "demote")
+		fmt.Printf("  %-12s %12s %12s %12s %9s %9s %7s %9s %7s\n",
+			"pool", "used", "peak", "budget", "pressure", "pressEvt", "evict", "evictB", "demote")
 		for _, p := range r.Pools {
-			fmt.Printf("  %-12s %12d %12d %9.3f %9d %7d %9d %7d\n",
-				p.Name, p.Used, p.Budget, p.Pressure, p.PressureEvents,
+			fmt.Printf("  %-12s %12d %12d %12d %9.3f %9d %7d %9d %7d\n",
+				p.Name, p.Used, p.PeakUsed, p.Budget, p.Pressure, p.PressureEvents,
 				p.Evictions, p.EvictedBytes, p.Demotions)
+		}
+		if len(r.Plans) > 0 {
+			fmt.Printf("  %-4s %-16s %6s %10s %6s %6s %7s %9s %7s\n",
+				"plan", "sig", "runs", "peakB", "frees", "splits", "evict", "predict", "ev/run")
+			for _, p := range r.Plans {
+				fmt.Printf("  %-4d %-16s %6d %10d %6d %6d %7d %9d %7.2f\n",
+					p.Seq, p.Sig, p.Runs, p.PeakBytes, p.Frees, p.Splits,
+					p.Evictions, p.Predicted, p.EvPerRun)
+			}
 		}
 		fmt.Println()
 	}

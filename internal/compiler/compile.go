@@ -108,7 +108,8 @@ func CompileBlock(bb *ir.BasicBlock, env map[string]ir.Shape, conf Config) []Ins
 			bc.out = append(bc.out, Instruction{
 				Kind: KindOp, Op: "assign", Inputs: []string{name},
 				Outputs: []string{target}, Backend: core.BackendCP,
-				Shape: bc.shapes[root],
+				Shape:    bc.shapes[root],
+				InShapes: []ir.Shape{bc.shapes[root]},
 			})
 		}
 		// Keep env in sync so later statements see updated shapes.
@@ -344,14 +345,15 @@ func (bc *blockCompiler) emit(n *ir.Node, target string) string {
 		inShapes[i] = bc.shapeOf(in)
 	}
 	bc.out = append(bc.out, Instruction{
-		Kind:    KindOp,
-		Op:      n.Op,
-		Inputs:  inputs,
-		Outputs: []string{name},
-		Attrs:   n.Attrs,
-		Backend: bc.placement(n),
-		Shape:   out,
-		Flops:   flopsOf(n, inShapes, out),
+		Kind:     KindOp,
+		Op:       n.Op,
+		Inputs:   inputs,
+		Outputs:  []string{name},
+		Attrs:    n.Attrs,
+		Backend:  bc.placement(n),
+		Shape:    out,
+		Flops:    flopsOf(n, inShapes, out),
+		InShapes: inShapes,
 	})
 	bc.name[n] = name
 	return name
@@ -360,17 +362,20 @@ func (bc *blockCompiler) emit(n *ir.Node, target string) string {
 // emitCall lowers a function-call statement.
 func (bc *blockCompiler) emitCall(st ir.Stmt, root *ir.Node) {
 	inputs := make([]string, len(root.Inputs))
+	inShapes := make([]ir.Shape, len(root.Inputs))
 	for i, in := range root.Inputs {
 		inputs[i] = bc.emit(in, "")
+		inShapes[i] = bc.shapeOf(in)
 	}
 	bc.out = append(bc.out, Instruction{
-		Kind:    KindOp,
-		Op:      "call",
-		Inputs:  inputs,
-		Outputs: append([]string(nil), st.Targets...),
-		Attrs:   root.Attrs,
-		Backend: core.BackendCP,
-		Shape:   ir.Shape{Rows: 1, Cols: 1},
+		Kind:     KindOp,
+		Op:       "call",
+		Inputs:   inputs,
+		Outputs:  append([]string(nil), st.Targets...),
+		Attrs:    root.Attrs,
+		Backend:  core.BackendCP,
+		Shape:    ir.Shape{Rows: 1, Cols: 1},
+		InShapes: inShapes,
 	})
 }
 

@@ -32,6 +32,10 @@ const (
 	KindCheckpoint
 	// KindEvict releases part of the GPU free list (§5.2).
 	KindEvict
+	// KindFree releases a block-local temporary at its last-use point.
+	// Inserted by the memory planner (internal/memplan) so intermediates
+	// are dropped deterministically instead of waiting for block end.
+	KindFree
 )
 
 func (k Kind) String() string {
@@ -44,6 +48,8 @@ func (k Kind) String() string {
 		return "chkpoint"
 	case KindEvict:
 		return "evict"
+	case KindFree:
+		return "free"
 	default:
 		return "op"
 	}
@@ -64,6 +70,11 @@ type Instruction struct {
 	// compute cost in floating-point operations.
 	Shape ir.Shape
 	Flops float64
+
+	// InShapes carries the compile-time input size estimates (parallel to
+	// Inputs; literals get the 1x1 scalar shape). The memory planner's
+	// liveness analysis sizes block-external operands from these.
+	InShapes []ir.Shape
 }
 
 // Attr returns an instruction attribute or "".

@@ -117,6 +117,13 @@ type Entry struct {
 	DelayTarget int   // cache after this many repetitions (1 = eager)
 	SeenCount   int   // repetitions observed so far
 	UnmatTouch  int64 // reuses while the RDD was unmaterialized
+
+	// Planner hint stamp (memplan): the static lifetime class of the
+	// entry's value in the plan epoch it was stamped under. Stamps from
+	// older epochs are stale (the block that produced them finished) and
+	// read as LifeUnknown.
+	planLife  memctl.Lifetime
+	planEpoch int64
 }
 
 // Stats counts cache events; experiments and tests assert on these.
@@ -186,6 +193,16 @@ type Cache struct {
 
 	cpUsed    int64
 	sparkUsed int64 // worst-case estimates of persisted reuse RDDs
+
+	// Resident high-water marks (pure observation: no policy or clock
+	// effect), surfaced through the arbiter pools' PeakReporter.
+	cpPeak    int64
+	sparkPeak int64
+
+	// planEpoch counts planned-block executions; zero means no memory
+	// plan has ever been active and victim selection is byte-identical to
+	// the pre-planner policy.
+	planEpoch int64
 
 	sc  *spark.Context // may be nil (no Spark backend)
 	gm  *gpu.Manager   // may be nil (no GPU backend)
@@ -273,6 +290,50 @@ func (c *Cache) CPUsed() int64 { return c.cpUsed }
 
 // SparkUsed returns the worst-case bytes of reuse-persisted RDDs.
 func (c *Cache) SparkUsed() int64 { return c.sparkUsed }
+
+// CPPeak returns the high-water mark of driver-resident cached bytes.
+func (c *Cache) CPPeak() int64 { return c.cpPeak }
+
+// SparkPeak returns the high-water mark of reuse-persisted RDD bytes.
+func (c *Cache) SparkPeak() int64 { return c.sparkPeak }
+
+// bumpCP/bumpSpark refresh the high-water marks after a usage increase.
+func (c *Cache) bumpCP() {
+	if c.cpUsed > c.cpPeak {
+		c.cpPeak = c.cpUsed
+	}
+}
+
+func (c *Cache) bumpSpark() {
+	if c.sparkUsed > c.sparkPeak {
+		c.sparkPeak = c.sparkUsed
+	}
+}
+
+// BeginPlanEpoch starts a new planner epoch: stamps from earlier planned
+// blocks become stale. Called by the runtime before executing a planned
+// stream; never called with the planner off, so planEpoch stays zero and
+// victim selection keeps its historical byte-identical order.
+func (c *Cache) BeginPlanEpoch() { c.planEpoch++ }
+
+// StampLifetime attaches the planner's lifetime class to an entry under
+// the current epoch.
+func (c *Cache) StampLifetime(e *Entry, life memctl.Lifetime) {
+	if e == nil {
+		return
+	}
+	e.planLife = life
+	e.planEpoch = c.planEpoch
+}
+
+// entryLife reads an entry's effective lifetime class: the stamp when it
+// is from the current epoch, unknown otherwise.
+func (c *Cache) entryLife(e *Entry) memctl.Lifetime {
+	if c.planEpoch > 0 && e.planEpoch == c.planEpoch {
+		return e.planLife
+	}
+	return memctl.LifeUnknown
+}
 
 // NumEntries returns the number of cache entries (all states).
 func (c *Cache) NumEntries() int {
@@ -424,6 +485,7 @@ func (c *Cache) invalidateGPU(p *gpu.Pointer) {
 		e.Matrix = v.Clone()
 		e.GPUPtr = nil
 		c.cpUsed += e.Size
+		c.bumpCP()
 		return
 	}
 	c.Stats.GPUInvalidated++
@@ -461,6 +523,7 @@ func (c *Cache) DemoteGPUPointer(p *gpu.Pointer) *data.Matrix {
 		e.Matrix = m
 		e.GPUPtr = nil
 		c.cpUsed += e.Size
+		c.bumpCP()
 	} else {
 		c.removeEntry(e)
 	}

@@ -45,6 +45,7 @@ func (c *Cache) PutCP(item *lineage.Item, m *data.Matrix, computeCost float64,
 	e.Height = item.Height()
 	e.LastAccess = c.clock.Now()
 	c.cpUsed += size
+	c.bumpCP()
 	return e
 }
 
@@ -58,6 +59,7 @@ func (c *Cache) Matrix(e *Entry) *data.Matrix {
 		e.Status = StatusCached
 		c.MakeSpaceCP(e.Size)
 		c.cpUsed += e.Size
+		c.bumpCP()
 	}
 	return e.Matrix
 }
@@ -78,7 +80,11 @@ func cpCandidate(e *Entry) memctl.Candidate {
 // cpVictim selects the lowest-scored resident CP entry under the shared
 // hybrid policy (memctl.CPWeights: LIMA's Cost&Size ratio, normalized
 // against the cache-wide maximum, plus recency), or nil when nothing is
-// evictable.
+// evictable. Under an active memory plan (planEpoch > 0) selection is
+// lifetime-grouped first: entries the plan marked dead evict before
+// unknown ones, soon-reused ones are protected, and the hybrid score
+// breaks ties within a group. With the planner off, planEpoch stays zero
+// and the historical strict-< minimum scan runs byte-identically.
 func (c *Cache) cpVictim() *Entry {
 	maxRatio := 0.0
 	for _, chain := range c.entries {
@@ -92,14 +98,21 @@ func (c *Cache) cpVictim() *Entry {
 		}
 	}
 	norms := memctl.Norms{MaxRatio: maxRatio, Now: c.clock.Now()}
+	planOn := c.planEpoch > 0
 	var victim *Entry
 	best := math.Inf(1)
+	bestLife := memctl.LifeSoon + 1
 	for _, chain := range c.entries {
 		for _, e := range chain {
 			if e.Backend != BackendCP || e.Status != StatusCached || e.Matrix == nil {
 				continue
 			}
-			if s := memctl.Score(cpCandidate(e), memctl.CPWeights, norms); s < best {
+			s := memctl.Score(cpCandidate(e), memctl.CPWeights, norms)
+			if planOn {
+				if life := c.entryLife(e); memctl.PreferVictim(life, s, bestLife, best) {
+					bestLife, best, victim = life, s, e
+				}
+			} else if s < best {
 				best, victim = s, e
 			}
 		}
@@ -191,6 +204,7 @@ func (c *Cache) PutRDD(item *lineage.Item, r *spark.RDD, children []*spark.RDD,
 	e.Height = item.Height()
 	e.LastAccess = c.clock.Now()
 	c.sparkUsed += size
+	c.bumpSpark()
 	return e
 }
 

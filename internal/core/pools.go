@@ -41,7 +41,9 @@ func (c *Cache) victims(b Backend, max int) []memctl.Victim {
 	}
 	out := make([]memctl.Victim, len(entries))
 	for i, e := range entries {
-		out[i] = memctl.Victim{Candidate: cpCandidate(e), Score: memctl.Score(cpCandidate(e), w, n)}
+		cand := cpCandidate(e)
+		cand.Lifetime = c.entryLife(e)
+		out[i] = memctl.Victim{Candidate: cand, Score: memctl.Score(cand, w, n)}
 	}
 	hashes := make([]uint64, len(entries))
 	for i, e := range entries {
@@ -74,6 +76,7 @@ type cpPool struct{ c *Cache }
 
 func (p cpPool) Name() string                    { return PoolCP }
 func (p cpPool) Used() int64                     { return p.c.cpUsed }
+func (p cpPool) Peak() int64                     { return p.c.cpPeak }
 func (p cpPool) Budget() int64                   { return p.c.conf.CPBudget }
 func (p cpPool) Victims(max int) []memctl.Victim { return p.c.victims(BackendCP, max) }
 
@@ -106,6 +109,7 @@ type sparkReusePool struct{ c *Cache }
 
 func (p sparkReusePool) Name() string                    { return PoolSparkReuse }
 func (p sparkReusePool) Used() int64                     { return p.c.sparkUsed }
+func (p sparkReusePool) Peak() int64                     { return p.c.sparkPeak }
 func (p sparkReusePool) Budget() int64                   { return p.c.conf.SparkBudget }
 func (p sparkReusePool) Victims(max int) []memctl.Victim { return p.c.victims(BackendSpark, max) }
 func (p sparkReusePool) Demote(need int64) int64         { return 0 }

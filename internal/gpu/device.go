@@ -70,6 +70,7 @@ type Device struct {
 	stream *vtime.Resource
 	model  *costs.Model
 	alloc  *allocator
+	peak   int64 // high-water mark of allocated bytes
 	Stats  DeviceStats
 }
 
@@ -86,6 +87,9 @@ func NewDevice(clock *vtime.Clock, model *costs.Model, name string, capacity int
 
 // Capacity returns the device memory size in bytes.
 func (d *Device) Capacity() int64 { return d.alloc.capacity }
+
+// Peak returns the high-water mark of allocated device bytes.
+func (d *Device) Peak() int64 { return d.peak }
 
 // Used returns the allocated bytes.
 func (d *Device) Used() int64 { return d.alloc.capacity - d.alloc.available() }
@@ -118,6 +122,9 @@ func (d *Device) Malloc(size int64) (*Pointer, error) {
 	}
 	d.Stats.Mallocs++
 	d.clock.Advance(d.model.CudaMalloc)
+	if u := d.Used(); u > d.peak {
+		d.peak = u
+	}
 	return &Pointer{addr: addr, size: size, RefCount: 1, LastAccess: d.clock.Now()}, nil
 }
 

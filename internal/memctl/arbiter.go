@@ -43,6 +43,15 @@ type Victim struct {
 	Score float64
 }
 
+// PeakReporter is an optional Pool extension: pools that track a resident
+// high-water mark expose it for snapshots (memphis-bench -mem peak-bytes
+// column and the planner acceptance tests). Pools without it report their
+// current Used as the peak.
+type PeakReporter interface {
+	// Peak returns the highest Used the pool has observed.
+	Peak() int64
+}
+
 // Counters aggregates one pool's pressure activity. All fields are
 // monotone; snapshots copy them atomically.
 type Counters struct {
@@ -64,6 +73,9 @@ type PoolStats struct {
 	Used     int64   `json:"used"`
 	Budget   int64   `json:"budget"`
 	Pressure float64 `json:"pressure"` // Used/Budget
+	// PeakUsed is the pool's resident high-water mark when the pool
+	// implements PeakReporter, else the Used at snapshot time.
+	PeakUsed int64 `json:"peak_used"`
 	Counters
 }
 
@@ -266,6 +278,11 @@ func (a *Arbiter) Snapshot() []PoolStats {
 			Counters: a.counter(p.Name()).snapshot()}
 		if st.Budget > 0 {
 			st.Pressure = float64(st.Used) / float64(st.Budget)
+		}
+		if pr, ok := p.(PeakReporter); ok {
+			st.PeakUsed = pr.Peak()
+		} else {
+			st.PeakUsed = st.Used
 		}
 		out = append(out, st)
 	}

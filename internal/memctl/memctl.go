@@ -39,6 +39,52 @@ type Candidate struct {
 	Size        int64   // s(o): object size, bytes
 	Height      int     // h(o): producing lineage-DAG height
 	LastAccess  float64 // T_a(o): virtual time (or sequence) of last use
+
+	// Lifetime is the compile-time liveness class stamped by the memory
+	// planner's hints (internal/memplan); LifeUnknown when no plan covers
+	// the object.
+	Lifetime Lifetime
+}
+
+// Lifetime is the planner's static liveness classification of a cached
+// object relative to the currently executing instruction stream. Victim
+// selection orders groups before scores: dead objects evict first,
+// soon-reused objects are protected, and the hybrid Score breaks ties
+// within a group (Deca-style lifetime-grouped eviction).
+type Lifetime int
+
+const (
+	// LifeDead marks an object with no further use in the current plan
+	// (a block-local temporary past its last-use point): evict first.
+	LifeDead Lifetime = iota - 1
+	// LifeUnknown is the zero value: no plan information, rank by score
+	// alone (the pre-planner behavior).
+	LifeUnknown
+	// LifeSoon marks an object the plan reads again within the protection
+	// window: evict last.
+	LifeSoon
+)
+
+func (l Lifetime) String() string {
+	switch l {
+	case LifeDead:
+		return "dead"
+	case LifeSoon:
+		return "soon"
+	default:
+		return "unknown"
+	}
+}
+
+// PreferVictim reports whether candidate a is a strictly better victim
+// than b under lifetime-grouped selection: the lower lifetime group wins
+// (dead < unknown < soon), and within a group the lower hybrid score
+// wins. This is the single comparison the planner-aware pools share.
+func PreferVictim(lifeA Lifetime, scoreA float64, lifeB Lifetime, scoreB float64) bool {
+	if lifeA != lifeB {
+		return lifeA < lifeB
+	}
+	return scoreA < scoreB
 }
 
 // Weights selects which score terms a pool uses and how strongly. The

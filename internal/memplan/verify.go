@@ -1,0 +1,57 @@
+package memplan
+
+import (
+	"fmt"
+
+	"memphis/internal/compiler"
+)
+
+// VerifyStream checks the free-safety invariants of a rewritten stream:
+// no instruction reads an operand after its free (use-after-free), no
+// operand is freed twice (double-free), no free names an operand the block
+// never defined, and no freed name is redefined later (compiled streams
+// give every definition a unique name, so a redefinition after free means
+// the planner misplaced the free). Apply runs this on every plan; the
+// InjectEvictions × early-free property tests run it over chaos and
+// parallelism variations.
+func VerifyStream(insts []compiler.Instruction) error {
+	defined := make(map[string]bool)
+	freed := make(map[string]int)
+	for i := range insts {
+		inst := &insts[i]
+		if inst.Kind == compiler.KindFree {
+			if len(inst.Inputs) != 1 {
+				return fmt.Errorf("inst %d: free with %d operands", i, len(inst.Inputs))
+			}
+			name := inst.Inputs[0]
+			if at, ok := freed[name]; ok {
+				return fmt.Errorf("inst %d: double free of %q (first freed at %d)", i, name, at)
+			}
+			if !defined[name] {
+				return fmt.Errorf("inst %d: free of %q which the block never defined", i, name)
+			}
+			freed[name] = i
+			continue
+		}
+		for _, op := range inst.Inputs {
+			if compiler.IsLiteral(op) {
+				continue
+			}
+			if at, ok := freed[op]; ok {
+				return fmt.Errorf("inst %d (%s): use of %q after free at %d", i, inst, op, at)
+			}
+		}
+		for _, op := range inst.Outputs {
+			if op == "_" || op == "" || compiler.IsLiteral(op) {
+				continue
+			}
+			if at, ok := freed[op]; ok {
+				return fmt.Errorf("inst %d (%s): redefinition of %q freed at %d", i, inst, op, at)
+			}
+			if inst.Kind == compiler.KindOp {
+				defined[op] = true
+			}
+		}
+	}
+	return nil
+}

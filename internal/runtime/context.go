@@ -13,6 +13,7 @@ import (
 	"memphis/internal/ir"
 	"memphis/internal/lineage"
 	"memphis/internal/memctl"
+	"memphis/internal/memplan"
 	"memphis/internal/spark"
 	"memphis/internal/vtime"
 )
@@ -104,6 +105,14 @@ type Config struct {
 	// allocator, the Spark simulator, and the driver cache's spill path.
 	// Runs with the same plan replay bitwise-identically.
 	Faults *faults.Plan
+
+	// MemPlan, when non-nil, enables the compile-time memory planner
+	// (internal/memplan): every compiled stream is analyzed for liveness,
+	// lifetime hints are stamped onto cache entries, and budget-bounding
+	// rewrites (early frees, row-panel matmul splits, cache flips) are
+	// applied. Nil keeps every execution path bitwise-identical to the
+	// planner-less runtime.
+	MemPlan *memplan.Config
 }
 
 // Stats counts runtime events.
@@ -128,6 +137,10 @@ type Stats struct {
 	SharedProbes int64
 	SharedHits   int64
 	SharedPuts   int64
+
+	// Memory-planner events (zero without Config.MemPlan).
+	PlanBlocks int64 // planned stream executions
+	EarlyFrees int64 // planner-inserted frees that released a binding
 }
 
 // Context is the execution context: symbol table, backends, lineage map,
@@ -167,6 +180,15 @@ type Context struct {
 	// Current block header parameters (set per basic block).
 	delayFactor  int
 	storageLevel spark.StorageLevel
+
+	// Memory-planner state: the plan of the currently executing stream,
+	// the current instruction position within it, the soon-reuse window,
+	// and the per-signature plan records (nil without Config.MemPlan).
+	activePlan *memplan.Plan
+	planPos    int
+	planWindow int
+	planRecs   map[uint64]*planRecord
+	planOrder  []uint64
 
 	closed bool
 
@@ -209,6 +231,12 @@ func New(conf Config) *Context {
 	if ctx.GM != nil {
 		ctx.Arb.Register(ctx.GM.MemPool(ctx.demoteGPUToHost))
 		ctx.GM.SetHostEvictor(ctx.evictGPUToHost)
+	}
+	if conf.MemPlan != nil {
+		ctx.planWindow = conf.MemPlan.Window
+		if ctx.planWindow <= 0 {
+			ctx.planWindow = memplan.DefaultWindow
+		}
 	}
 	if conf.Faults != nil {
 		ctx.Inj = faults.NewInjector(conf.Faults)

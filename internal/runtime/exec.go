@@ -185,6 +185,8 @@ func (ctx *Context) Execute(inst *compiler.Instruction) error {
 		return ctx.execEvict(inst)
 	case compiler.KindCheckpoint:
 		return ctx.execCheckpoint(inst)
+	case compiler.KindFree:
+		return ctx.execFree(inst)
 	}
 	switch inst.Op {
 	case "call":
@@ -201,9 +203,11 @@ func (ctx *Context) Execute(inst *compiler.Instruction) error {
 		li = ctx.trace(inst)
 	}
 	wantReuse := li != nil && cacheable(inst) && ctx.fineGrainedReuse(inst.Backend) &&
-		(ctx.Conf.CPAllowlist == nil || inst.Backend != core.BackendCP || ctx.Conf.CPAllowlist[inst.Op])
+		(ctx.Conf.CPAllowlist == nil || inst.Backend != core.BackendCP || ctx.Conf.CPAllowlist[inst.Op]) &&
+		!ctx.skipCache(inst.Output())
 	if wantReuse {
 		if e, hit := ctx.Cache.Probe(li); hit {
+			ctx.stampPlan(e, inst.Output())
 			if v := ctx.valueFromEntry(e); v != nil {
 				v.Lin = e.Key
 				ctx.setVar(inst.Output(), v)
@@ -269,18 +273,22 @@ func gpuDims(e *core.Entry) (int, int) {
 	return 1, int(e.Size / 8)
 }
 
-// putValue stores a freshly computed value (PUT of the unified API).
+// putValue stores a freshly computed value (PUT of the unified API),
+// stamping the memory planner's lifetime hint onto the stored entry.
 func (ctx *Context) putValue(inst *compiler.Instruction, li *lineage.Item, v *Value) {
 	switch {
 	case v.RDD != nil && v.M == nil:
 		cost := costs.Compute(inst.Flops, ctx.Model.SparkFlops) + ctx.Model.SparkJobOverhead
-		ctx.Cache.PutRDD(li, v.RDD, v.children, v.bcasts, cost, ctx.delay(), ctx.storageLevel)
+		e := ctx.Cache.PutRDD(li, v.RDD, v.children, v.bcasts, cost, ctx.delay(), ctx.storageLevel)
+		ctx.stampPlan(e, inst.Output())
 	case v.HasGPU() && v.M == nil:
 		cost := costs.Compute(inst.Flops, ctx.Model.GPUFlops)
-		ctx.Cache.PutGPU(li, v.GPU, cost, ctx.delay())
+		e := ctx.Cache.PutGPU(li, v.GPU, cost, ctx.delay())
+		ctx.stampPlan(e, inst.Output())
 	case v.M != nil:
 		cost := costs.Compute(inst.Flops, ctx.Model.CPUFlops)
-		ctx.Cache.PutCP(li, v.M, cost, ctx.delay(), false, false)
+		e := ctx.Cache.PutCP(li, v.M, cost, ctx.delay(), false, false)
+		ctx.stampPlan(e, inst.Output())
 		if ctx.wantShare(inst.Flops) {
 			ctx.sharePublish(li, v.M, cost)
 		}

@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/memplan"
+)
+
+// planRecord is the runtime's per-stream planning state: one record per
+// distinct compiled stream signature. Because planning is a pure function
+// of the stream and the budget, the record caches the plan and the
+// rewritten stream; repeated executions (loop iterations recompile to the
+// same stream once shapes stabilize) reuse both and accumulate runtime
+// observations.
+type planRecord struct {
+	seq   int
+	sig   uint64
+	plan  *memplan.Plan
+	insts []compiler.Instruction
+
+	runs          int64
+	evictions     int64 // measured CP evictions attributed to this stream
+	predictedEv   int64 // planner-predicted minimum CP evictions
+	peakLiveBytes int64 // max observed live variable bytes during execution
+}
+
+// PlanReport is the per-stream planner report exposed to the facade and the
+// CLIs (-plan dumps and profile diffs).
+type PlanReport struct {
+	Seq                int                `json:"seq"`
+	Sig                string             `json:"sig"`
+	Runs               int64              `json:"runs"`
+	Instructions       int                `json:"instructions"`
+	PeakBytes          int64              `json:"peak_bytes"`
+	PeakAt             int                `json:"peak_at"`
+	Budget             int64              `json:"budget"`
+	Frees              int                `json:"frees"`
+	Splits             int                `json:"splits"`
+	NoCache            []string           `json:"no_cache,omitempty"`
+	PredictedEvictions int64              `json:"predicted_evictions"`
+	Evictions          int64              `json:"evictions"`
+	PeakLiveBytes      int64              `json:"peak_live_bytes"`
+	Intervals          []memplan.Interval `json:"intervals"`
+	Profile            []int64            `json:"profile"`
+	Stream             []string           `json:"stream"`
+}
+
+// streamSig fingerprints a compiled stream: opcode, operands, backend, and
+// the compile-time shapes. Two blocks that compile identically (the common
+// case across loop iterations) share a signature and therefore a plan.
+func streamSig(insts []compiler.Instruction) uint64 {
+	h := fnv.New64a()
+	for i := range insts {
+		in := &insts[i]
+		fmt.Fprintf(h, "%s|%dx%d", in.String(), in.Shape.Rows, in.Shape.Cols)
+		for _, s := range in.InShapes {
+			fmt.Fprintf(h, ",%dx%d", s.Rows, s.Cols)
+		}
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+// planBlock plans one compiled stream, reusing the record of a previously
+// seen signature. It returns the plan, the (possibly rewritten) stream to
+// execute, and the record accumulating runtime observations.
+func (ctx *Context) planBlock(insts []compiler.Instruction) (*memplan.Plan, []compiler.Instruction, *planRecord) {
+	if ctx.planRecs == nil {
+		ctx.planRecs = make(map[uint64]*planRecord)
+	}
+	sig := streamSig(insts)
+	if rec, ok := ctx.planRecs[sig]; ok {
+		return rec.plan, rec.insts, rec
+	}
+	rewritten, plan := memplan.Apply(insts, *ctx.Conf.MemPlan)
+	rec := &planRecord{seq: len(ctx.planOrder), sig: sig, plan: plan, insts: rewritten}
+	ctx.planRecs[sig] = rec
+	ctx.planOrder = append(ctx.planOrder, sig)
+	return plan, rewritten, rec
+}
+
+// predictEvictions adds the planner's minimum-eviction estimate for one run
+// of the stream: the bytes by which the stream's cacheable puts overflow
+// the remaining CP budget, divided by the mean entry size (a lower bound —
+// actual victim choice can free more or less per eviction).
+func (ctx *Context) predictEvictions(rec *planRecord) {
+	budget := ctx.Cache.Config().CPBudget
+	if budget <= 0 || rec.plan.CacheEntries == 0 {
+		return
+	}
+	overflow := ctx.Cache.CPUsed() + rec.plan.CacheBytes - budget
+	if overflow <= 0 {
+		return
+	}
+	mean := rec.plan.CacheBytes / int64(rec.plan.CacheEntries)
+	if mean <= 0 {
+		return
+	}
+	rec.predictedEv += (overflow + mean - 1) / mean
+}
+
+// sampleLive sums the resident bytes of all bound variables, deduplicated
+// by value identity (aliases from assignments share a *Value). Host and
+// device copies both count; a value with both counts each copy once.
+func (ctx *Context) sampleLive() int64 {
+	seen := make(map[*Value]bool, len(ctx.vars))
+	var total int64
+	for _, v := range ctx.vars {
+		if v == nil || seen[v] {
+			continue
+		}
+		seen[v] = true
+		if v.M != nil {
+			total += v.M.SizeBytes()
+		}
+		if v.HasGPU() {
+			total += v.GPU.Size()
+		}
+	}
+	return total
+}
+
+// stampPlan stamps the active plan's lifetime classification for name onto
+// a cache entry (no-op without an active plan). The stamp feeds memctl's
+// lifetime-grouped victim selection.
+func (ctx *Context) stampPlan(e *core.Entry, name string) {
+	if ctx.activePlan == nil || e == nil {
+		return
+	}
+	ctx.Cache.StampLifetime(e, ctx.activePlan.LifetimeAt(name, ctx.planPos, ctx.planWindow))
+}
+
+// skipCache reports whether the active plan flipped the instruction's
+// output to recompute-from-lineage.
+func (ctx *Context) skipCache(name string) bool {
+	return ctx.activePlan != nil && ctx.activePlan.SkipCache(name)
+}
+
+// execFree executes a planner-inserted early free: the temporary is
+// unbound (returning GPU references and dropping its lineage binding)
+// exactly as clearTemps would at block end, just at its last-use point.
+func (ctx *Context) execFree(inst *compiler.Instruction) error {
+	name := inst.Inputs[0]
+	if _, ok := ctx.vars[name]; ok {
+		ctx.removeVar(name)
+		ctx.Stats.EarlyFrees++
+	}
+	return nil
+}
+
+// PlanReports returns one report per planned stream in first-seen order,
+// combining the static plan with the runtime's measured counters. Empty
+// without an active memory planner.
+func (ctx *Context) PlanReports() []PlanReport {
+	out := make([]PlanReport, 0, len(ctx.planOrder))
+	for _, sig := range ctx.planOrder {
+		rec := ctx.planRecs[sig]
+		stream := make([]string, len(rec.insts))
+		for i := range rec.insts {
+			stream[i] = rec.insts[i].String()
+		}
+		out = append(out, PlanReport{
+			Seq:                rec.seq,
+			Sig:                fmt.Sprintf("%016x", rec.sig),
+			Runs:               rec.runs,
+			Instructions:       rec.plan.Insts,
+			PeakBytes:          rec.plan.Peak,
+			PeakAt:             rec.plan.PeakAt,
+			Budget:             rec.plan.Budget,
+			Frees:              rec.plan.Frees,
+			Splits:             rec.plan.Splits,
+			NoCache:            rec.plan.NoCache,
+			PredictedEvictions: rec.predictedEv,
+			Evictions:          rec.evictions,
+			PeakLiveBytes:      rec.peakLiveBytes,
+			Intervals:          rec.plan.Intervals,
+			Profile:            rec.plan.Profile,
+			Stream:             stream,
+		})
+	}
+	return out
+}

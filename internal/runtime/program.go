@@ -8,6 +8,7 @@ import (
 	"memphis/internal/core"
 	"memphis/internal/ir"
 	"memphis/internal/lineage"
+	"memphis/internal/memplan"
 	"memphis/internal/spark"
 )
 
@@ -92,8 +93,26 @@ func (ctx *Context) runBlocks(blocks []ir.Block) error {
 
 // runBasicBlock recompiles and executes one basic block, applying the
 // block-header reuse parameters (§5.2) and clearing temporaries afterwards.
+// With a memory planner configured, the compiled stream is planned first:
+// the (possibly rewritten) stream executes under the plan, lifetime hints
+// are stamped per position, and measured evictions are attributed back to
+// the stream's record. Plan state is saved and restored around the block
+// because function calls and scalar-condition evaluation recurse here.
 func (ctx *Context) runBasicBlock(bb *ir.BasicBlock) error {
 	insts := compiler.CompileBlock(bb, ctx.shapes(), ctx.Conf.Compiler)
+	savedPlan, savedPos := ctx.activePlan, ctx.planPos
+	var rec *planRecord
+	var evictBefore int64
+	if ctx.Conf.MemPlan != nil {
+		var plan *memplan.Plan
+		plan, insts, rec = ctx.planBlock(insts)
+		ctx.activePlan = plan
+		ctx.planPos = 0
+		ctx.Cache.BeginPlanEpoch()
+		ctx.Stats.PlanBlocks++
+		ctx.predictEvictions(rec)
+		evictBefore = ctx.Cache.Stats.EvictionsCP
+	}
 	prevDelay, prevLevel := ctx.delayFactor, ctx.storageLevel
 	ctx.delayFactor = bb.DelayFactor
 	switch bb.StorageLevel {
@@ -106,12 +125,28 @@ func (ctx *Context) runBasicBlock(bb *ir.BasicBlock) error {
 	}
 	var err error
 	for i := range insts {
+		if rec != nil {
+			ctx.planPos = i
+		}
 		if err = ctx.Execute(&insts[i]); err != nil {
 			break
+		}
+		if rec != nil {
+			// Restore the position in case a call/condition recursed and
+			// planned a nested stream, then track the live-byte peak.
+			ctx.activePlan, ctx.planPos = rec.plan, i
+			if lv := ctx.sampleLive(); lv > rec.peakLiveBytes {
+				rec.peakLiveBytes = lv
+			}
 		}
 	}
 	ctx.clearTemps()
 	ctx.delayFactor, ctx.storageLevel = prevDelay, prevLevel
+	if rec != nil {
+		rec.runs++
+		rec.evictions += ctx.Cache.Stats.EvictionsCP - evictBefore
+	}
+	ctx.activePlan, ctx.planPos = savedPlan, savedPos
 	return err
 }
 

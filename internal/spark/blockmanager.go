@@ -38,6 +38,7 @@ type block struct {
 type BlockManager struct {
 	budget int64
 	used   int64
+	peak   int64 // high-water mark of in-memory cached bytes
 	blocks map[blockKey]*block
 	// seq is the touch-sequence counter; every access gets a fresh value,
 	// so block sequences are unique and victim selection is deterministic.
@@ -136,6 +137,9 @@ func (b *BlockManager) put(rdd, part int, m *data.Matrix, level StorageLevel) (s
 	b.seq++
 	b.blocks[k] = &block{m: m, size: size, level: level, seq: b.seq}
 	b.used += size
+	if b.used > b.peak {
+		b.peak = b.used
+	}
 	return spilled, dropped, spillErrs
 }
 
@@ -276,6 +280,7 @@ type bmPool struct{ b *BlockManager }
 
 func (p bmPool) Name() string  { return PoolName }
 func (p bmPool) Used() int64   { return p.b.used }
+func (p bmPool) Peak() int64   { return p.b.peak }
 func (p bmPool) Budget() int64 { return p.b.budget }
 
 func (p bmPool) Victims(max int) []memctl.Victim {

@@ -30,6 +30,7 @@ import (
 	"memphis/internal/ir"
 	"memphis/internal/lineage"
 	"memphis/internal/memctl"
+	"memphis/internal/memplan"
 	"memphis/internal/runtime"
 	"memphis/internal/serve"
 	"memphis/internal/spark"
@@ -93,9 +94,28 @@ type Options struct {
 	FaultPlan *FaultPlan
 
 	// MemoryBudgets sets explicit per-pool byte budgets for the unified
-	// memory arbiter. Zero fields keep the defaults; non-zero CP and GPU
-	// take precedence over CacheBudget and GPUCapacity.
+	// memory arbiter. Zero fields keep the defaults. Budget precedence
+	// (validated by Options.Validate, which New applies):
+	//
+	//   - CP pool: MemoryBudgets.CP wins over CacheBudget. Setting both to
+	//     different values is a configuration error.
+	//   - GPU pool: MemoryBudgets.GPU wins over GPUCapacity. Setting both
+	//     to different values is a configuration error.
+	//   - Spark: OpMemBudget is the compiler's CP-vs-Spark placement
+	//     threshold, NOT a storage budget; MemoryBudgets.Spark sizes the
+	//     cluster storage region. An OpMemBudget larger than
+	//     MemoryBudgets.Spark is a configuration error (operators placed
+	//     locally up to OpMemBudget bytes could never be checkpointed).
 	MemoryBudgets MemoryBudgets
+
+	// MemoryPlanner enables the compile-time memory planner
+	// (internal/memplan): static liveness and peak-memory profiles per
+	// compiled stream, lifetime hints for the arbiter's victim selection,
+	// and budget-bounding rewrites (early frees, row-panel matmul splits,
+	// cache-vs-recompute flips). The planning budget is the CP cache
+	// budget (MemoryBudgets.CP, else CacheBudget, else the default).
+	// Numeric results are bitwise-identical with the planner on or off.
+	MemoryPlanner bool
 }
 
 // MemoryBudgets names the byte budgets of the arbiter's pools: the driver
@@ -117,10 +137,32 @@ type FaultPlan = faults.Plan
 // that every recovery path absorbs without failing a run.
 func DefaultFaultPlan(seed int64) *FaultPlan { return faults.Default(seed) }
 
+// Validate checks the Options for conflicting budget settings, returning a
+// descriptive error for the first conflict found. New applies it and defers
+// the error to Run/Lookup; call it directly to fail fast.
+func (o Options) Validate() error {
+	if o.CacheBudget > 0 && o.MemoryBudgets.CP > 0 && o.CacheBudget != o.MemoryBudgets.CP {
+		return fmt.Errorf("memphis: CacheBudget (%d) and MemoryBudgets.CP (%d) are both set but differ; set one, or set both equal (MemoryBudgets.CP takes precedence)",
+			o.CacheBudget, o.MemoryBudgets.CP)
+	}
+	if o.GPUCapacity > 0 && o.MemoryBudgets.GPU > 0 && o.GPUCapacity != o.MemoryBudgets.GPU {
+		return fmt.Errorf("memphis: GPUCapacity (%d) and MemoryBudgets.GPU (%d) are both set but differ; set one, or set both equal (MemoryBudgets.GPU takes precedence)",
+			o.GPUCapacity, o.MemoryBudgets.GPU)
+	}
+	if o.OpMemBudget > 0 && o.MemoryBudgets.Spark > 0 && o.OpMemBudget > o.MemoryBudgets.Spark {
+		return fmt.Errorf("memphis: OpMemBudget (%d) exceeds MemoryBudgets.Spark (%d); operators compiled locally under OpMemBudget could never fit the cluster storage region",
+			o.OpMemBudget, o.MemoryBudgets.Spark)
+	}
+	return nil
+}
+
 // Session is an execution context over the simulated multi-backend stack.
 type Session struct {
 	ctx  *runtime.Context
 	opts Options
+	// optErr is the deferred Options.Validate error; Run and Lookup
+	// surface it instead of executing under a misconfigured session.
+	optErr error
 }
 
 // runtimeConfig lowers public Options to the internal runtime configuration
@@ -178,6 +220,10 @@ func runtimeConfig(opts Options) runtime.Config {
 			pol = gpu.PolicyMemphis
 		}
 	}
+	var plan *memplan.Config
+	if opts.MemoryPlanner {
+		plan = &memplan.Config{Budget: cache.CPBudget}
+	}
 	return runtime.Config{
 		Mode:        mode,
 		Compiler:    comp,
@@ -187,12 +233,14 @@ func runtimeConfig(opts Options) runtime.Config {
 		GPUPolicy:   pol,
 		Parallelism: opts.Parallelism,
 		Faults:      opts.FaultPlan,
+		MemPlan:     plan,
 	}
 }
 
-// New creates a session.
+// New creates a session. Conflicting budget options (see Options.Validate)
+// are not fatal here: the error is stored and returned by Run and Lookup.
 func New(opts Options) *Session {
-	return &Session{ctx: runtime.New(runtimeConfig(opts)), opts: opts}
+	return &Session{ctx: runtime.New(runtimeConfig(opts)), opts: opts, optErr: opts.Validate()}
 }
 
 // Bind installs an input matrix under a variable name (a persistent read:
@@ -204,6 +252,9 @@ func (s *Session) Bind(name string, m *Matrix) { s.ctx.BindHost(name, m) }
 // when full reuse is enabled. Programs may be run repeatedly; the lineage
 // cache persists across runs within the session.
 func (s *Session) Run(p *ir.Program) error {
+	if s.optErr != nil {
+		return s.optErr
+	}
 	if s.opts.Reuse == ReuseFull {
 		compiler.AutoTune(p)
 		compiler.InjectLoopCheckpoints(p)
@@ -230,6 +281,9 @@ func (s *Session) Value(name string) *Matrix {
 // exhaust its task attempts, which surfaces here as an error rather than a
 // panic.
 func (s *Session) Lookup(name string) (m *Matrix, err error) {
+	if s.optErr != nil {
+		return nil, s.optErr
+	}
 	if s.ctx.Closed() {
 		return nil, fmt.Errorf("memphis: session is closed")
 	}
@@ -288,6 +342,19 @@ func (s *Session) MemoryStats() []PoolStats { return s.ctx.Arb.Snapshot() }
 // CacheStats returns the lineage cache statistics (hits per backend,
 // evictions, spills, lazy GC activity).
 func (s *Session) CacheStats() core.Stats { return s.ctx.Cache.Stats }
+
+// PlanReport is one planned instruction stream's memory-planner report:
+// the static liveness table, peak-memory profile, and rewrite summary,
+// combined with the measured per-run counters.
+type PlanReport = runtime.PlanReport
+
+// PlanReports returns one report per planned stream in first-seen order.
+// Empty unless Options.MemoryPlanner is set.
+func (s *Session) PlanReports() []PlanReport { return s.ctx.PlanReports() }
+
+// CPPeak returns the high-water mark of driver lineage-cache bytes (the
+// measured peak the planner's budget bounds).
+func (s *Session) CPPeak() int64 { return s.ctx.Cache.CPPeak() }
 
 // SerializeLineage returns the lineage log of a variable (the SERIALIZE
 // API, §3.2) for sharing and exact recomputation elsewhere.
@@ -366,8 +433,14 @@ type ServerOptions struct {
 }
 
 // NewServer starts a serving layer whose per-request sessions are built
-// from the embedded Options. Close the server to drain and stop it.
+// from the embedded Options. Close the server to drain and stop it. Unlike
+// New — which defers Options.Validate errors to Run — NewServer panics on
+// invalid options: a server template misconfiguration would otherwise fail
+// every request of every tenant at execution time.
 func NewServer(opts ServerOptions) *Server {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	conf := serve.DefaultConfig()
 	conf.Runtime = runtimeConfig(opts.Options)
 	if opts.Workers > 0 {
