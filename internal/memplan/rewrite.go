@@ -39,9 +39,14 @@ func Apply(insts []compiler.Instruction, cfg Config) ([]compiler.Instruction, *P
 			plan.Budget = cfg.Budget
 		}
 	}
+	// Panel temporaries from splits are always flipped to no-cache, even
+	// when the split brought the peak back under budget: they are
+	// single-use by construction, and caching them would displace the
+	// reusable entries the split was protecting. Size-based flips stay
+	// gated on a residual overrun.
 	noCache := map[string]bool{}
-	if !cfg.DisableRewrites && cfg.Budget > 0 && plan.Peak > cfg.Budget {
-		noCache = cacheFlips(out, cfg)
+	if !cfg.DisableRewrites && cfg.Budget > 0 && (splits > 0 || plan.Peak > cfg.Budget) {
+		noCache = cacheFlips(out, cfg, plan.Peak > cfg.Budget)
 	}
 	// Early frees are worthwhile whenever a budget exists, even when the
 	// profile fits: dead temporaries stop competing with cached values.
@@ -182,10 +187,11 @@ func emitPanels(inst *compiler.Instruction, n, j int) []compiler.Instruction {
 
 // cacheFlips selects outputs whose cache-vs-recompute decision flips to
 // recompute at compile time: panel-chain temporaries (single-use by
-// construction, cheap to recompute from lineage) and any cacheable output
+// construction, cheap to recompute from lineage) are always flipped, and
+// when the plan still overruns the budget, so is any cacheable output
 // larger than half the budget — caching one such object evicts half the
 // cache, the classic thrash source on over-budget plans.
-func cacheFlips(insts []compiler.Instruction, cfg Config) map[string]bool {
+func cacheFlips(insts []compiler.Instruction, cfg Config, overBudget bool) map[string]bool {
 	flips := make(map[string]bool)
 	for i := range insts {
 		inst := &insts[i]
@@ -196,7 +202,7 @@ func cacheFlips(insts []compiler.Instruction, cfg Config) map[string]bool {
 		switch {
 		case strings.HasPrefix(name, "_tsp"):
 			flips[name] = true
-		case inst.Backend == core.BackendCP && inst.Shape.Bytes() > cfg.Budget/2:
+		case overBudget && inst.Backend == core.BackendCP && inst.Shape.Bytes() > cfg.Budget/2:
 			flips[name] = true
 		}
 	}

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"memphis/internal/compiler"
 	"memphis/internal/core"
@@ -48,9 +49,13 @@ type PlanReport struct {
 	Stream             []string           `json:"stream"`
 }
 
-// streamSig fingerprints a compiled stream: opcode, operands, backend, and
-// the compile-time shapes. Two blocks that compile identically (the common
-// case across loop iterations) share a signature and therefore a plan.
+// streamSig fingerprints a compiled stream: opcode, operands, backend,
+// attrs, and the compile-time shapes. Two blocks that compile identically
+// (the common case across loop iterations) share a signature and therefore
+// a plan. Attrs must be included: ops like slice (r0/r1/c0/c1), sliceRows
+// (n), and dropout (p, seed) carry their semantics only in Attrs, so
+// omitting them would alias differently-parameterized streams onto one
+// cached rewrite.
 func streamSig(insts []compiler.Instruction) uint64 {
 	h := fnv.New64a()
 	for i := range insts {
@@ -58,6 +63,16 @@ func streamSig(insts []compiler.Instruction) uint64 {
 		fmt.Fprintf(h, "%s|%dx%d", in.String(), in.Shape.Rows, in.Shape.Cols)
 		for _, s := range in.InShapes {
 			fmt.Fprintf(h, ",%dx%d", s.Rows, s.Cols)
+		}
+		if len(in.Attrs) > 0 {
+			keys := make([]string, 0, len(in.Attrs))
+			for k := range in.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(h, ";%s=%s", k, in.Attrs[k])
+			}
 		}
 		h.Write([]byte{'\n'})
 	}

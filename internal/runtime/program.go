@@ -134,9 +134,14 @@ func (ctx *Context) runBasicBlock(bb *ir.BasicBlock) error {
 		if rec != nil {
 			// Restore the position in case a call/condition recursed and
 			// planned a nested stream, then track the live-byte peak.
+			// Sampling walks every bound variable, so it runs only at the
+			// planner-predicted peak, every 32 instructions, and at block
+			// end — not after every instruction.
 			ctx.activePlan, ctx.planPos = rec.plan, i
-			if lv := ctx.sampleLive(); lv > rec.peakLiveBytes {
-				rec.peakLiveBytes = lv
+			if i == rec.plan.PeakAt || i == len(insts)-1 || i%32 == 31 {
+				if lv := ctx.sampleLive(); lv > rec.peakLiveBytes {
+					rec.peakLiveBytes = lv
+				}
 			}
 		}
 	}
