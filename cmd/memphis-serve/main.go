@@ -15,6 +15,14 @@
 // per-site failure counters. Chaos runs replay bitwise-identically: -verify
 // holds under -chaos too.
 //
+// With -traffic, the command runs the deterministic SLO traffic bench
+// instead (see serve.RunTraffic): a seeded Zipf-skewed bursty request
+// stream, measured on a real server (coalescing + compile cache on) and
+// scaled out through a discrete-event admission simulation of 10^5+
+// virtual requests. The JSON report (p50/p99 virtual latency, goodput
+// under shedding, compile-cache and cross-tenant hit rates) is
+// byte-identical across runs for a fixed -seed.
+//
 // Usage:
 //
 //	memphis-serve                                # 8 tenants, 2 groups, hcv
@@ -23,6 +31,8 @@
 //	                                             # and vtimes are serial
 //	memphis-serve -chaos -verify -check          # faults on; exit 1 unless
 //	                                             # all requests still succeed
+//	memphis-serve -traffic -seed 42 -check       # SLO bench; exit 1 unless
+//	                                             # compile-cache hits > 90%
 package main
 
 import (
@@ -144,6 +154,11 @@ func main() {
 		verify   = flag.Bool("verify", false, "replay serially and compare per-request virtual times")
 		check    = flag.Bool("check", false, "exit 1 unless cross-tenant reuse occurred (and -verify held)")
 
+		traffic     = flag.Bool("traffic", false, "run the deterministic SLO traffic bench instead of the replay")
+		trafficSeed = flag.Int64("seed", 42, "traffic-bench seed (with -traffic)")
+		trafficReqs = flag.Int("traffic-requests", 120000, "virtual requests to simulate (with -traffic)")
+		realReqs    = flag.Int("real-requests", 256, "measured requests executed on the real server (with -traffic)")
+
 		chaos     = flag.Bool("chaos", false, "inject deterministic faults at default probabilities")
 		chaosSeed = flag.Int64("chaos-seed", 7, "fault-plan seed (with -chaos)")
 		deadline  = flag.Float64("deadline", 0, "per-request virtual deadline in seconds (0 = none)")
@@ -184,6 +199,57 @@ func main() {
 		for i := 0; i < *degrade; i++ {
 			conf.DisabledShards = append(conf.DisabledShards, i)
 		}
+	}
+
+	if *traffic {
+		classes := make([]serve.TrafficClass, *groups)
+		for g := range classes {
+			w := m.build(1000 + int64(g))
+			classes[g] = serve.TrafficClass{
+				Name:   fmt.Sprintf("%s-g%d", *workload, g),
+				Prog:   w.Prog,
+				Inputs: w.HostInputs(),
+				Fetch:  []string{m.fetch},
+			}
+		}
+		// Smaller coalesce batches force more group leaders to actually
+		// execute, keeping the measured per-class service times in steady
+		// state and the compile cache exercised.
+		conf.MaxBatch = 16
+		trep, err := serve.RunTraffic(conf, serve.TrafficConfig{
+			Seed:            *trafficSeed,
+			Workload:        *workload,
+			Classes:         classes,
+			Tenants:         *tenants,
+			RealRequests:    *realReqs,
+			VirtualRequests: *trafficReqs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memphis-serve:", err)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(trep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memphis-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		if *check {
+			if trep.CompileCacheHitRate <= 0.9 {
+				fmt.Fprintf(os.Stderr, "memphis-serve: CHECK FAILED: compile-cache hit rate %.3f <= 0.9\n",
+					trep.CompileCacheHitRate)
+				os.Exit(1)
+			}
+			if trep.RealFailed != 0 {
+				fmt.Fprintf(os.Stderr, "memphis-serve: CHECK FAILED: %d measured requests failed\n", trep.RealFailed)
+				os.Exit(1)
+			}
+			if trep.Goodput <= 0 || trep.Goodput > 1 {
+				fmt.Fprintf(os.Stderr, "memphis-serve: CHECK FAILED: implausible goodput %.3f\n", trep.Goodput)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	results, snap, err := run(m, conf, *tenants, *requests, *groups)

@@ -74,9 +74,14 @@ type Function struct {
 }
 
 // Program is a compiled script: functions plus a main block sequence.
+// Source holds the raw script text when the program came from the DML
+// parser; programs built programmatically leave it empty. It is the
+// primary component of the serving layer's compile-cache program key, so
+// two scripts differing only in whitespace or literals key differently.
 type Program struct {
-	Funcs map[string]*Function
-	Main  []Block
+	Funcs  map[string]*Function
+	Main   []Block
+	Source string
 }
 
 // NewProgram returns an empty program.

@@ -218,8 +218,14 @@ func (a *Arbiter) GlobalHeadroom() int64 {
 }
 
 func (a *Arbiter) totals() (used, budget int64) {
+	// Copy the pool list under the lock: Register replaces slice elements
+	// in place (same-name re-registration), so iterating the shared backing
+	// array after releasing the lock would race with it. The pool method
+	// calls still happen outside the lock — pools may call back into the
+	// arbiter (NoteEviction and friends take it again).
 	a.mu.RLock()
-	pools := a.pools
+	pools := make([]Pool, len(a.pools))
+	copy(pools, a.pools)
 	a.mu.RUnlock()
 	for _, p := range pools {
 		used += p.Used()

@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"memphis/internal/compiler"
+	"memphis/internal/ir"
+	"memphis/internal/memplan"
+)
+
+// CompiledBlock is one fully prepared basic-block execution unit: the
+// compiled instruction stream, and — when a memory planner is configured —
+// the planner's rewritten stream and plan. Cached blocks are shared
+// read-only across concurrent sessions: instructions are never mutated
+// during execution and memplan.Plan's runtime queries (LifetimeAt,
+// SkipCache, NextUse) are read-only, so no further synchronization is
+// needed once a block is published.
+type CompiledBlock struct {
+	// Insts is the raw compiled stream (before planner rewrites).
+	Insts []compiler.Instruction
+	// Planned is the stream to execute: the planner-rewritten stream, or
+	// Insts itself when no planner is configured.
+	Planned []compiler.Instruction
+	// Plan is the memory plan for Planned (nil without a planner).
+	Plan *memplan.Plan
+	// Sig is streamSig(Insts): the session-level plan-record key, so a
+	// session using the compile cache keeps the same per-stream planner
+	// accounting as one compiling from scratch.
+	Sig uint64
+}
+
+// CompileCache is the cross-session compiled-plan cache interface
+// implemented by the serving layer. Both methods must be safe for
+// concurrent use. StoreCompiled returns the block that ends up resident:
+// under a racing double-compile the first writer wins and later writers
+// adopt the resident block, so every session executes the same object.
+type CompileCache interface {
+	LookupCompiled(key uint64) (*CompiledBlock, bool)
+	StoreCompiled(key uint64, cb *CompiledBlock) *CompiledBlock
+}
+
+// AttachCompileCache connects the session to a cross-session compiled-plan
+// cache. programKey identifies the program (ir.Program.Fingerprint of the
+// submitted script); it is folded into every block key so textually
+// different scripts never share entries even when individual blocks
+// compile identically.
+//
+// Compilation and planning charge no virtual time, so attaching a compile
+// cache is vtime-neutral: results and per-request virtual latencies are
+// bitwise-identical to the cache-off path.
+func (ctx *Context) AttachCompileCache(cc CompileCache, programKey uint64) {
+	ctx.compCache = cc
+	ctx.progKey = programKey
+	if ctx.bbKeys == nil {
+		ctx.bbKeys = make(map[*ir.BasicBlock]blockKeyParts)
+	}
+}
+
+// blockKeyParts memoizes the shape-independent components of a block's
+// cache key: the structural fingerprint and the sorted set of variables
+// the block reads (whose shapes are the dynamic key component).
+type blockKeyParts struct {
+	fp    uint64
+	reads []string
+}
+
+// blockKey computes the compile-cache key for one basic block in the
+// current environment: (program, block structure, shapes of the variables
+// the block reads, compiler config, planner config). Compilation is a pure
+// function of exactly these inputs — CompileBlock consults the shape
+// environment only through the block's variable references — so equal keys
+// imply bitwise-equal compiled streams.
+func (ctx *Context) blockKey(bb *ir.BasicBlock) uint64 {
+	parts, ok := ctx.bbKeys[bb]
+	if !ok {
+		readSet := make(map[string]struct{})
+		for _, st := range bb.Stmts {
+			ir.VarsRead(st.Expr, readSet)
+		}
+		reads := make([]string, 0, len(readSet))
+		for name := range readSet {
+			reads = append(reads, name)
+		}
+		sort.Strings(reads)
+		parts = blockKeyParts{fp: ir.FingerprintBlock(bb), reads: reads}
+		ctx.bbKeys[bb] = parts
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%016x|%016x|", ctx.progKey, parts.fp)
+	for _, name := range parts.reads {
+		if v, bound := ctx.vars[name]; bound {
+			fmt.Fprintf(h, "%s=%dx%d;", name, v.Rows, v.Cols)
+		} else {
+			fmt.Fprintf(h, "%s=?;", name)
+		}
+	}
+	fmt.Fprintf(h, "|cc:%+v", ctx.Conf.Compiler)
+	if ctx.Conf.MemPlan != nil {
+		fmt.Fprintf(h, "|mp:%+v", *ctx.Conf.MemPlan)
+	}
+	return h.Sum64()
+}
+
+// compiledBlock returns the prepared execution unit for a basic block via
+// the attached compile cache, compiling (and planning) on miss. Callers
+// must have ctx.compCache non-nil.
+func (ctx *Context) compiledBlock(bb *ir.BasicBlock) *CompiledBlock {
+	key := ctx.blockKey(bb)
+	if cb, hit := ctx.compCache.LookupCompiled(key); hit {
+		return cb
+	}
+	insts := compiler.CompileBlock(bb, ctx.shapes(), ctx.Conf.Compiler)
+	cb := &CompiledBlock{Insts: insts, Planned: insts, Sig: streamSig(insts)}
+	if ctx.Conf.MemPlan != nil {
+		cb.Planned, cb.Plan = memplan.Apply(insts, *ctx.Conf.MemPlan)
+	}
+	return ctx.compCache.StoreCompiled(key, cb)
+}
+
+// planBlockPre is planBlock for a cache-prepared block: the plan and
+// rewritten stream come from the CompiledBlock (planned once at store
+// time), while the session still keeps its own planRecord keyed by the
+// stream signature, so planner reports and eviction attribution are
+// identical to the cache-off path.
+func (ctx *Context) planBlockPre(cb *CompiledBlock) (*memplan.Plan, []compiler.Instruction, *planRecord) {
+	if ctx.planRecs == nil {
+		ctx.planRecs = make(map[uint64]*planRecord)
+	}
+	if rec, ok := ctx.planRecs[cb.Sig]; ok {
+		return rec.plan, rec.insts, rec
+	}
+	rec := &planRecord{seq: len(ctx.planOrder), sig: cb.Sig, plan: cb.Plan, insts: cb.Planned}
+	ctx.planRecs[cb.Sig] = rec
+	ctx.planOrder = append(ctx.planOrder, cb.Sig)
+	return cb.Plan, cb.Planned, rec
+}

@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"testing"
+
+	"memphis/internal/data"
+	"memphis/internal/ir"
+	"memphis/internal/memplan"
+)
+
+// keyCtx builds a context with a compile cache attached under the given
+// program key, with inputs of the given shape bound.
+func keyCtx(t *testing.T, progKey uint64, rows, cols int, mutate func(*Config)) *Context {
+	t.Helper()
+	conf := testConfig(ReuseMemphis)
+	if mutate != nil {
+		mutate(&conf)
+	}
+	ctx := New(conf)
+	t.Cleanup(func() { ctx.Close() })
+	ctx.BindHost("X", data.RandNorm(rows, cols, 0, 1, 1))
+	ctx.AttachCompileCache(noopCompileCache{}, progKey)
+	return ctx
+}
+
+// noopCompileCache satisfies the interface for key-only tests.
+type noopCompileCache struct{}
+
+func (noopCompileCache) LookupCompiled(uint64) (*CompiledBlock, bool)             { return nil, false }
+func (noopCompileCache) StoreCompiled(_ uint64, cb *CompiledBlock) *CompiledBlock { return cb }
+
+// TestBlockKeyComposition is the table-driven key test for the compile
+// cache: every component of the key — program identity, block structure,
+// statement literals, input shapes, compiler config, and planner config —
+// must separate entries; identical setups must collide.
+func TestBlockKeyComposition(t *testing.T) {
+	block := func(lit float64) *ir.BasicBlock {
+		return ir.BB(ir.Assign("z", ir.Mul(ir.TSMM(ir.Var("X")), ir.Lit(lit))))
+	}
+	base := func() (*Context, *ir.BasicBlock) { return keyCtx(t, 1, 16, 4, nil), block(2) }
+
+	cases := []struct {
+		name  string
+		same  bool // whether the variant key must equal the base key
+		build func() (*Context, *ir.BasicBlock)
+	}{
+		{"identical setup", true, base},
+		{"different program key", false, func() (*Context, *ir.BasicBlock) {
+			return keyCtx(t, 2, 16, 4, nil), block(2)
+		}},
+		{"different literal", false, func() (*Context, *ir.BasicBlock) {
+			return keyCtx(t, 1, 16, 4, nil), block(3)
+		}},
+		{"different block structure", false, func() (*Context, *ir.BasicBlock) {
+			ctx := keyCtx(t, 1, 16, 4, nil)
+			return ctx, ir.BB(ir.Assign("z", ir.TSMM(ir.Var("X"))))
+		}},
+		{"different input shape", false, func() (*Context, *ir.BasicBlock) {
+			return keyCtx(t, 1, 32, 4, nil), block(2)
+		}},
+		{"unbound read variable", false, func() (*Context, *ir.BasicBlock) {
+			ctx := keyCtx(t, 1, 16, 4, nil)
+			ctx.removeVar("X")
+			return ctx, block(2)
+		}},
+		{"different compiler config", false, func() (*Context, *ir.BasicBlock) {
+			return keyCtx(t, 1, 16, 4, func(c *Config) { c.Compiler.OpMemBudget = 1 << 10 }), block(2)
+		}},
+		{"planner configured", false, func() (*Context, *ir.BasicBlock) {
+			return keyCtx(t, 1, 16, 4, func(c *Config) { c.MemPlan = &memplan.Config{Budget: 1 << 20} }), block(2)
+		}},
+	}
+
+	refCtx, refBB := base()
+	ref := refCtx.blockKey(refBB)
+	for _, tc := range cases {
+		ctx, bb := tc.build()
+		got := ctx.blockKey(bb)
+		if tc.same && got != ref {
+			t.Errorf("%s: key %016x != base %016x, want equal", tc.name, got, ref)
+		}
+		if !tc.same && got == ref {
+			t.Errorf("%s: key collides with base (%016x)", tc.name, got)
+		}
+	}
+
+	// Different planner budgets must not share planned streams.
+	a, bbA := keyCtx(t, 1, 16, 4, func(c *Config) { c.MemPlan = &memplan.Config{Budget: 1 << 20} }), block(2)
+	b, bbB := keyCtx(t, 1, 16, 4, func(c *Config) { c.MemPlan = &memplan.Config{Budget: 1 << 16} }), block(2)
+	if a.blockKey(bbA) == b.blockKey(bbB) {
+		t.Error("different memplan budgets must produce distinct block keys")
+	}
+}

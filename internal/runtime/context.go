@@ -164,6 +164,13 @@ type Context struct {
 	Shared SharedCache
 	Tenant string
 
+	// compCache is the optional cross-session compiled-plan cache
+	// (AttachCompileCache); progKey identifies the submitted program and
+	// bbKeys memoizes per-block key components.
+	compCache CompileCache
+	progKey   uint64
+	bbKeys    map[*ir.BasicBlock]blockKeyParts
+
 	vars map[string]*Value
 	prog *ir.Program
 

@@ -99,19 +99,32 @@ func (ctx *Context) runBlocks(blocks []ir.Block) error {
 // the stream's record. Plan state is saved and restored around the block
 // because function calls and scalar-condition evaluation recurse here.
 func (ctx *Context) runBasicBlock(bb *ir.BasicBlock) error {
-	insts := compiler.CompileBlock(bb, ctx.shapes(), ctx.Conf.Compiler)
+	var insts []compiler.Instruction
+	var cb *CompiledBlock
+	if ctx.compCache != nil {
+		cb = ctx.compiledBlock(bb)
+		insts = cb.Insts
+	} else {
+		insts = compiler.CompileBlock(bb, ctx.shapes(), ctx.Conf.Compiler)
+	}
 	savedPlan, savedPos := ctx.activePlan, ctx.planPos
 	var rec *planRecord
 	var evictBefore int64
 	if ctx.Conf.MemPlan != nil {
 		var plan *memplan.Plan
-		plan, insts, rec = ctx.planBlock(insts)
+		if cb != nil {
+			plan, insts, rec = ctx.planBlockPre(cb)
+		} else {
+			plan, insts, rec = ctx.planBlock(insts)
+		}
 		ctx.activePlan = plan
 		ctx.planPos = 0
 		ctx.Cache.BeginPlanEpoch()
 		ctx.Stats.PlanBlocks++
 		ctx.predictEvictions(rec)
 		evictBefore = ctx.Cache.Stats.EvictionsCP
+	} else if cb != nil {
+		insts = cb.Planned
 	}
 	prevDelay, prevLevel := ctx.delayFactor, ctx.storageLevel
 	ctx.delayFactor = bb.DelayFactor

@@ -84,6 +84,63 @@ func TestChaosDeterminism(t *testing.T) {
 	}
 }
 
+// TestCompileCacheBitwiseProperty is the compile-cache acceptance property:
+// for every (worker count, fault plan) combination, switching the shared
+// compile cache on or off changes neither a single result bit nor a single
+// virtual latency. Compilation charges no virtual time and compiled streams
+// are pure functions of (program, shapes, config), so cached and uncached
+// executions are indistinguishable to tenants.
+func TestCompileCacheBitwiseProperty(t *testing.T) {
+	const n = 5
+	run := func(workers int, cache bool, plan *faults.Plan) ([]float64, []*data.Matrix) {
+		conf := DefaultConfig()
+		conf.Workers = workers
+		conf.CompileCache = cache
+		conf.Faults = plan
+		srv := New(conf)
+		defer srv.Close()
+		w := hcvWorkload()
+		futs := make([]*Future, n)
+		for i := range futs {
+			f, err := srv.Submit(fmt.Sprintf("t%d", i), w.Prog,
+				SubmitOptions{Inputs: w.HostInputs(), Fetch: []string{"best"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			futs[i] = f
+		}
+		vtimes := make([]float64, n)
+		vals := make([]*data.Matrix, n)
+		for i, f := range futs {
+			res, err := f.Wait()
+			if err != nil {
+				t.Fatalf("workers=%d cache=%v: request %d failed: %v", workers, cache, i, err)
+			}
+			vtimes[i] = res.VirtualSeconds
+			vals[i] = res.Values["best"]
+		}
+		return vtimes, vals
+	}
+	for _, plan := range []*faults.Plan{nil, faults.Default(42)} {
+		refV, refM := run(1, false, plan)
+		for _, workers := range []int{1, 4, 8} {
+			for _, cache := range []bool{false, true} {
+				v, m := run(workers, cache, plan)
+				for i := range v {
+					if v[i] != refV[i] {
+						t.Fatalf("chaos=%v workers=%d cache=%v: request %d vtime %v != reference %v",
+							plan != nil, workers, cache, i, v[i], refV[i])
+					}
+					if !data.AllClose(m[i], refM[i], 0) {
+						t.Fatalf("chaos=%v workers=%d cache=%v: request %d result differs bitwise",
+							plan != nil, workers, cache, i)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestChaosMatchesFaultFreeResults: the faulted mix computes the same answers
 // as a fault-free run — every injected failure is absorbed by a recovery
 // path, never by serving a wrong result.

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	goruntime "runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/runtime"
+)
+
+// coalesceConf is the common template for the batched-admission tests.
+func coalesceConf(workers int) Config {
+	conf := DefaultConfig()
+	conf.Workers = workers
+	conf.Coalesce = true
+	return conf
+}
+
+// expectedCopyCharge recomputes the documented follower vtime rule: one
+// host-memory copy per fetched value, summed in sorted name order.
+func expectedCopyCharge(leader *Result) float64 {
+	model := costs.Default()
+	names := make([]string, 0, len(leader.Values))
+	for n := range leader.Values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cc := 0.0
+	for _, n := range names {
+		cc += costs.Transfer(leader.Values[n].SizeBytes(), model.MemBW, model.CopyLatency)
+	}
+	return cc
+}
+
+// TestCoalesceIndependentCopies: N concurrent submissions of the same
+// (program, inputs, fetch) coalesce into one execution; every follower gets
+// (a) a result bitwise-equal to the leader's, (b) its own deep copy —
+// mutating one tenant's matrix must not leak into any other's, and (c) the
+// documented virtual latency: the leader's plus one copy charge per
+// fetched value. A worker-pinning request queues the leader first, so the
+// followers exercise the pending-group (waiter fan-out) path.
+func TestCoalesceIndependentCopies(t *testing.T) {
+	const followers = 4
+	srv := New(coalesceConf(1))
+	defer srv.Close()
+	w := hcvWorkload()
+	inputs := w.HostInputs()
+
+	// Pin the single worker so the leader sits queued while followers join.
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	gate, err := srv.Submit("gate", trivialProg(), SubmitOptions{Bind: func(*runtime.Context) {
+		close(started)
+		<-hold
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	lead, err := srv.Submit("leader", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs := make([]*Future, followers)
+	for i := range futs {
+		f, err := srv.Submit(fmt.Sprintf("f%d", i), w.Prog,
+			SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = f
+	}
+	close(hold)
+	if _, err := gate.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	leadRes, err := lead.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leadRes.Coalesced {
+		t.Fatal("leader must not be marked coalesced")
+	}
+	results := make([]*Result, followers)
+	for i, f := range futs {
+		res, err := f.Wait()
+		if err != nil {
+			t.Fatalf("follower %d: %v", i, err)
+		}
+		results[i] = res
+	}
+	wantVS := leadRes.VirtualSeconds + expectedCopyCharge(leadRes)
+	for i, res := range results {
+		if !res.Coalesced || res.CoalescedWith != leadRes.Ticket {
+			t.Fatalf("follower %d: coalesced=%v with=%d, want leader ticket %d",
+				i, res.Coalesced, res.CoalescedWith, leadRes.Ticket)
+		}
+		if !data.AllClose(res.Values["best"], leadRes.Values["best"], 0) {
+			t.Fatalf("follower %d result differs from leader", i)
+		}
+		if res.VirtualSeconds != wantVS {
+			t.Fatalf("follower %d vtime = %v, want leader + copy = %v", i, res.VirtualSeconds, wantVS)
+		}
+		if res.Values["best"] == leadRes.Values["best"] {
+			t.Fatalf("follower %d aliases the leader's matrix", i)
+		}
+	}
+	// Independence: poison one follower's copy; nobody else may see it.
+	before := leadRes.Values["best"].At(0, 0)
+	results[0].Values["best"].Set(0, 0, before+1e9)
+	if leadRes.Values["best"].At(0, 0) != before {
+		t.Fatal("mutating a follower's value changed the leader's")
+	}
+	for i := 1; i < followers; i++ {
+		if results[i].Values["best"].At(0, 0) != before {
+			t.Fatalf("mutating follower 0's value changed follower %d's", i)
+		}
+	}
+	srv.Close()
+	if snap := srv.Snapshot(); snap.Coalesced != followers {
+		t.Fatalf("snapshot.Coalesced = %d, want %d", snap.Coalesced, followers)
+	}
+}
+
+// TestCoalesceLateJoinersMatchWaiters: a follower joining after the leader
+// finished gets exactly the same result and virtual latency as one that
+// waited — admission timing is invisible in the outcome.
+func TestCoalesceLateJoinersMatchWaiters(t *testing.T) {
+	srv := New(coalesceConf(2))
+	defer srv.Close()
+	w := hcvWorkload()
+	inputs := w.HostInputs()
+	lead, err := srv.Submit("leader", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leadRes, err := lead.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leader is done; this submission joins the sealed group inline.
+	late, err := srv.Submit("late", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateRes, err := late.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lateRes.Coalesced || lateRes.CoalescedWith != leadRes.Ticket {
+		t.Fatalf("late joiner not coalesced with leader: %+v", lateRes)
+	}
+	if want := leadRes.VirtualSeconds + expectedCopyCharge(leadRes); lateRes.VirtualSeconds != want {
+		t.Fatalf("late joiner vtime = %v, want %v", lateRes.VirtualSeconds, want)
+	}
+	if !data.AllClose(lateRes.Values["best"], leadRes.Values["best"], 0) {
+		t.Fatal("late joiner result differs from leader")
+	}
+	// NoCoalesce opts out: a fresh execution, not a follower.
+	solo, err := srv.Submit("solo", w.Prog,
+		SubmitOptions{Inputs: inputs, Fetch: []string{"best"}, NoCoalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloRes, err := solo.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloRes.Coalesced {
+		t.Fatal("NoCoalesce request must not coalesce")
+	}
+}
+
+// TestCoalesceCancelPaths: canceling a waiting follower resolves it with
+// ErrCanceled without touching the group; canceling a queued leader fails
+// the group over to its waiters; and no goroutine outlives Close on either
+// path.
+func TestCoalesceCancelPaths(t *testing.T) {
+	// Warm process-wide pools so the goroutine baseline is stable.
+	{
+		srv := New(coalesceConf(2))
+		w := hcvWorkload()
+		f, err := srv.Submit("warm", w.Prog, SubmitOptions{Inputs: w.HostInputs()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		srv.Close()
+	}
+	base := goruntime.NumGoroutine()
+
+	srv := New(coalesceConf(1))
+	w := hcvWorkload()
+	inputs := w.HostInputs()
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	gate, err := srv.Submit("gate", trivialProg(), SubmitOptions{Bind: func(*runtime.Context) {
+		close(started)
+		<-hold
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	lead, err := srv.Submit("leader", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := srv.Submit("f1", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := srv.Submit("f2", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel one waiting follower: it resolves immediately with ErrCanceled
+	// even though the leader has not run.
+	f1.Cancel()
+	if _, err := f1.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled follower err = %v, want ErrCanceled", err)
+	}
+	// Cancel the queued leader: the group fails over, so the remaining
+	// waiter resolves with the leader's cancellation, not a hang.
+	lead.Cancel()
+	if _, err := lead.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled leader err = %v, want ErrCanceled", err)
+	}
+	if _, err := f2.Wait(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("orphaned follower err = %v, want wrapped ErrCanceled", err)
+	}
+	// Canceling a finished request is a no-op.
+	f2.Cancel()
+	close(hold)
+	if _, err := gate.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh submission after the failed group starts a new group and
+	// succeeds — error-sealed groups must not capture new joiners.
+	f3, err := srv.Submit("f3", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f3.Wait()
+	if err != nil {
+		t.Fatalf("post-cancel submission failed: %v", err)
+	}
+	if res.Coalesced {
+		t.Fatal("post-cancel submission joined a dead group")
+	}
+	srv.Close()
+	snap := srv.Snapshot()
+	// f1 and the leader were canceled; the orphaned follower f2 counts as
+	// failed (it resolved with the leader's cancellation), not canceled.
+	if snap.Canceled != 2 {
+		t.Fatalf("snapshot.Canceled = %d, want 2", snap.Canceled)
+	}
+	if snap.Failed != 1 {
+		t.Fatalf("snapshot.Failed = %d, want 1 (the orphaned follower)", snap.Failed)
+	}
+	for i := 0; i < 100 && goruntime.NumGoroutine() > base; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := goruntime.NumGoroutine(); n > base {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak after cancel paths: %d before, %d after\n%s",
+			base, n, buf[:goruntime.Stack(buf, true)])
+	}
+}
+
+// TestCoalesceDeadlinePropagates: a leader that misses the deadline fails
+// its whole group with ErrDeadline; followers still receive their result
+// copies, and no waiter goroutine leaks.
+func TestCoalesceDeadlinePropagates(t *testing.T) {
+	conf := coalesceConf(1)
+	conf.Deadline = 1e-9
+	srv := New(conf)
+	defer srv.Close()
+	w := hcvWorkload()
+	inputs := w.HostInputs()
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	gate, err := srv.Submit("gate", trivialProg(), SubmitOptions{Bind: func(*runtime.Context) {
+		close(started)
+		<-hold
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	lead, err := srv.Submit("leader", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := srv.Submit("fol", w.Prog, SubmitOptions{Inputs: inputs, Fetch: []string{"best"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(hold)
+	if _, err := gate.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	leadRes, err := lead.Wait()
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("leader err = %v, want ErrDeadline", err)
+	}
+	folRes, err := fol.Wait()
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("follower err = %v, want wrapped ErrDeadline", err)
+	}
+	if folRes == nil || folRes.Values["best"] == nil {
+		t.Fatal("deadline-failed follower must still carry the computed result")
+	}
+	if !data.AllClose(folRes.Values["best"], leadRes.Values["best"], 0) {
+		t.Fatal("deadline-failed follower result differs from leader")
+	}
+	srv.Close()
+	snap := srv.Snapshot()
+	if snap.DeadlineFailures != 2 || snap.Failed != 2 {
+		t.Fatalf("deadline_failures=%d failed=%d, want 2/2", snap.DeadlineFailures, snap.Failed)
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"memphis/internal/runtime"
+)
+
+// CompileCache is the server-wide sharded compiled-plan cache: hot
+// programs are compiled, auto-tuned, and memory-planned once and the
+// resulting CompiledBlocks are shared read-only across all tenants'
+// sessions. Keys are computed by the runtime per basic block as
+// (program fingerprint, block structure, read-variable shapes, compiler
+// config, planner config) — see runtime.Context.blockKey — so entries are
+// never shared across textually different scripts, different input
+// shapes, or different planner budgets.
+//
+// Compilation charges no virtual time, so the cache is vtime-neutral:
+// per-request results and virtual latencies are bitwise-identical with the
+// cache on or off (the chaos property tests pin this).
+type CompileCache struct {
+	shards []compileShard
+
+	// lookups counts LookupCompiled calls and is deterministic for a given
+	// request mix (each request performs one lookup per block execution,
+	// independent of interleaving). hits and stores depend on timing: two
+	// sessions racing on a cold key may both miss and compile, with the
+	// first store winning. Deterministic reports therefore derive the hit
+	// rate as 1 - entries/lookups rather than from the raw hit counter.
+	lookups atomic.Int64
+	hits    atomic.Int64
+	stores  atomic.Int64
+}
+
+type compileShard struct {
+	mu sync.RWMutex
+	m  map[uint64]*runtime.CompiledBlock
+}
+
+// NewCompileCache creates a cache with the given shard count (<=0 means
+// the default of 16).
+func NewCompileCache(shards int) *CompileCache {
+	if shards <= 0 {
+		shards = 16
+	}
+	c := &CompileCache{shards: make([]compileShard, shards)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]*runtime.CompiledBlock)
+	}
+	return c
+}
+
+func (c *CompileCache) shard(key uint64) *compileShard {
+	return &c.shards[key%uint64(len(c.shards))]
+}
+
+// LookupCompiled implements runtime.CompileCache.
+func (c *CompileCache) LookupCompiled(key uint64) (*runtime.CompiledBlock, bool) {
+	c.lookups.Add(1)
+	sh := c.shard(key)
+	sh.mu.RLock()
+	cb, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return cb, ok
+}
+
+// StoreCompiled implements runtime.CompileCache: first writer wins, and
+// racing writers adopt the resident block so all sessions execute the same
+// shared object.
+func (c *CompileCache) StoreCompiled(key uint64, cb *runtime.CompiledBlock) *runtime.CompiledBlock {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if prev, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return prev
+	}
+	sh.m[key] = cb
+	sh.mu.Unlock()
+	c.stores.Add(1)
+	return cb
+}
+
+// CompileCacheStats is a point-in-time counter snapshot. Lookups and
+// Entries are deterministic for a fixed request mix; Hits and Stores can
+// vary with interleaving (racing cold-key compiles), so deterministic
+// consumers compute HitRate = 1 - Entries/Lookups.
+type CompileCacheStats struct {
+	Lookups int64 `json:"lookups"`
+	Hits    int64 `json:"hits"`
+	Stores  int64 `json:"stores"`
+	Entries int64 `json:"entries"`
+	Shards  int   `json:"shards"`
+}
+
+// StatsSnapshot returns current counters.
+func (c *CompileCache) StatsSnapshot() CompileCacheStats {
+	st := CompileCacheStats{
+		Lookups: c.lookups.Load(),
+		Hits:    c.hits.Load(),
+		Stores:  c.stores.Load(),
+		Shards:  len(c.shards),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		st.Entries += int64(len(sh.m))
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// HitRate is the deterministic hit-rate estimate: the fraction of lookups
+// that did not require a distinct compilation. Returns 0 with no lookups.
+func (st CompileCacheStats) HitRate() float64 {
+	if st.Lookups == 0 {
+		return 0
+	}
+	return 1 - float64(st.Entries)/float64(st.Lookups)
+}

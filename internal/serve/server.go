@@ -10,6 +10,7 @@ import (
 
 	"memphis/internal/compiler"
 	"memphis/internal/core"
+	"memphis/internal/costs"
 	"memphis/internal/data"
 	"memphis/internal/faults"
 	"memphis/internal/ir"
@@ -80,6 +81,33 @@ type Config struct {
 	// SharedCache.SetShardEnabled): probes miss and publishes are rejected,
 	// so sessions recompute instead of failing.
 	DisabledShards []int
+
+	// CompileCache shares compiled (and memory-planned) instruction streams
+	// across all sessions: hot programs compile once per (program, shapes,
+	// compiler config, planner config) key and are reused read-only by every
+	// tenant. Compilation charges no virtual time, so results and virtual
+	// latencies are bitwise-identical with the cache on or off. Enabled by
+	// DefaultConfig.
+	CompileCache bool
+	// CompileShards is the compile cache's shard count (default 16).
+	CompileShards int
+
+	// Coalesce enables batched admission: a submission that resolves to the
+	// same compiled plan as a recent one — same program fingerprint, same
+	// input contents, same fetch set, no Bind hook — joins that request's
+	// coalesce group instead of queueing. The group leader executes once and
+	// its results fan out to all followers as independent copies. Group
+	// membership is decided purely in ticket space at Submit time (see
+	// CoalesceWindow/MaxBatch), so it is identical for every worker count
+	// and interleaving. Disabled by default.
+	Coalesce bool
+	// CoalesceWindow is how many tickets after a group's leader a submission
+	// may still join the group (default 256). Joining a group whose leader
+	// already finished yields exactly the same result and virtual latency as
+	// joining before it ran.
+	CoalesceWindow uint64
+	// MaxBatch caps a coalesce group's size, leader included (default 64).
+	MaxBatch int
 }
 
 // DefaultConfig mirrors memphis.Options{Reuse: ReuseFull} for each request
@@ -103,6 +131,7 @@ func DefaultConfig() Config {
 		Rewrite:      true,
 		MaxRetries:   2,
 		RetryBackoff: 0.05,
+		CompileCache: true,
 	}
 }
 
@@ -116,6 +145,10 @@ var (
 
 // ErrDeadline marks a request whose virtual latency exceeded Config.Deadline.
 var ErrDeadline = errors.New("serve: deadline exceeded")
+
+// ErrCanceled marks a request whose Future was canceled before it started
+// executing.
+var ErrCanceled = errors.New("serve: request canceled")
 
 // SubmitOptions carries a request's inputs and result selection.
 type SubmitOptions struct {
@@ -133,6 +166,9 @@ type SubmitOptions struct {
 	Fetch []string
 	// Weight is the tenant's fair-share weight under SchedWFQ (default 1).
 	Weight float64
+	// NoCoalesce opts this request out of batched admission even when
+	// Config.Coalesce is on: it always executes on its own session.
+	NoCoalesce bool
 }
 
 // Result is one completed request.
@@ -151,19 +187,60 @@ type Result struct {
 	Retries int `json:"retries,omitempty"`
 	// Faults counts injected failures per site during the winning attempt.
 	Faults map[string]int64 `json:"faults,omitempty"`
+	// Coalesced marks a follower of a coalesce group: its Values are
+	// independent copies of the leader's, and its VirtualSeconds is the
+	// leader's latency plus one host-memory copy charge per fetched value
+	// (costs.Transfer(bytes, MemBW, CopyLatency)). CoalescedWith is the
+	// leader's ticket.
+	Coalesced     bool   `json:"coalesced,omitempty"`
+	CoalescedWith uint64 `json:"coalesced_with,omitempty"`
 }
 
 // request is the queue element behind a Future.
 type request struct {
-	tenant string
-	prog   *ir.Program
-	opts   SubmitOptions
-	ticket uint64
-	keys   []uint64
-	global bool
-	done   chan struct{}
-	res    *Result
-	err    error
+	tenant  string
+	prog    *ir.Program
+	opts    SubmitOptions
+	ticket  uint64
+	keys    []uint64
+	global  bool
+	progKey uint64
+	// group is the request's coalesce group (nil when coalescing is off or
+	// the request is ineligible); the request is the group's leader when
+	// group.leader == ticket. coalKey is the group's key in Server.groups.
+	group   *coalesceGroup
+	coalKey uint64
+
+	done      chan struct{}
+	once      sync.Once
+	cancelled bool // guarded by Server.mu
+	res       *Result
+	err       error
+
+	srv *Server
+}
+
+// resolve publishes the request's outcome exactly once; later calls are
+// no-ops. Result fields are written before done closes, so Future.Wait
+// reads them race-free without locks.
+func (r *request) resolve(res *Result, err error) {
+	r.once.Do(func() {
+		r.res, r.err = res, err
+		close(r.done)
+	})
+}
+
+// coalesceGroup is one batched-admission group: the leader executes, the
+// followers wait for the fan-out. Membership (size, waiters) is guarded by
+// Server.mu; res/err are written once under mu when the leader finishes
+// (done flips true) and are read-only afterwards.
+type coalesceGroup struct {
+	leader  uint64 // leader's ticket
+	size    int    // members including the leader
+	waiters []*request
+	done    bool
+	res     *Result
+	err     error
 }
 
 // Future resolves to a request's Result.
@@ -178,10 +255,19 @@ func (f *Future) Wait() (*Result, error) {
 	return f.req.res, f.req.err
 }
 
+// Cancel withdraws a request that has not started executing: it is removed
+// from the queue (or from its coalesce group's waiter list) and its Future
+// resolves with ErrCanceled. Canceling a request that is already running
+// or finished is a no-op — the Future resolves with the real outcome.
+// Cancel never leaks the waiter: Done is closed on every path.
+func (f *Future) Cancel() { f.req.srv.cancel(f.req) }
+
 // Server owns the shared cache, the request queue, and the worker pool.
 type Server struct {
 	conf   Config
 	shared *SharedCache
+	cc     *CompileCache // nil when Config.CompileCache is off
+	model  *costs.Model  // coalesce fan-out copy charges
 
 	mu           sync.Mutex
 	cond         *sync.Cond
@@ -194,6 +280,8 @@ type Server struct {
 	service      map[string]float64
 	weight       map[string]float64
 	rewritten    map[*ir.Program]struct{}
+	progKeys     map[*ir.Program]uint64
+	groups       map[uint64]*coalesceGroup // coalesce key -> latest group
 	nextTicket   uint64
 	closed       bool
 
@@ -204,6 +292,8 @@ type Server struct {
 	shed          int64
 	retries       int64
 	deadlineFails int64
+	coalesced     int64
+	canceled      int64
 	faultCounts   map[string]int64
 	vtimeTotal    float64
 	start         time.Time
@@ -233,17 +323,33 @@ func New(conf Config) *Server {
 	if conf.Shared.Model == nil {
 		conf.Shared.Model = conf.Runtime.Model
 	}
+	if conf.CoalesceWindow == 0 {
+		conf.CoalesceWindow = 256
+	}
+	if conf.MaxBatch <= 0 {
+		conf.MaxBatch = 64
+	}
+	model := conf.Runtime.Model
+	if model == nil {
+		model = costs.Default()
+	}
 	s := &Server{
 		conf:         conf,
 		shared:       NewSharedCache(conf.Shared),
+		model:        model,
 		running:      make(map[uint64]int),
 		tenantActive: make(map[string]bool),
 		tenantLoad:   make(map[string]int),
 		service:      make(map[string]float64),
 		weight:       make(map[string]float64),
 		rewritten:    make(map[*ir.Program]struct{}),
+		progKeys:     make(map[*ir.Program]uint64),
+		groups:       make(map[uint64]*coalesceGroup),
 		faultCounts:  make(map[string]int64),
 		start:        time.Now(),
+	}
+	if conf.CompileCache {
+		s.cc = NewCompileCache(conf.CompileShards)
 	}
 	for _, idx := range conf.DisabledShards {
 		s.shared.SetShardEnabled(idx, false)
@@ -289,9 +395,72 @@ func conflictKeys(inputs map[string]*data.Matrix) []uint64 {
 	return keys
 }
 
+// rewriteLocked applies MEMPHIS's program-level rewrites exactly once per
+// program object, before any worker can run it (the rewrites mutate the
+// ir.Program and are not idempotent). Caller holds s.mu.
+func (s *Server) rewriteLocked(prog *ir.Program) {
+	if s.conf.Rewrite && s.conf.Runtime.Mode == runtime.ReuseMemphis {
+		if _, done := s.rewritten[prog]; !done {
+			compiler.AutoTune(prog)
+			compiler.InjectLoopCheckpoints(prog)
+			compiler.InjectEvictions(prog)
+			s.rewritten[prog] = struct{}{}
+		}
+	}
+}
+
+// progKeyLocked memoizes the program fingerprint per program object. It
+// must run after rewriteLocked: source-backed programs key on their raw
+// text, but programmatically built ones key on post-rewrite structure, and
+// same-structure programs rewrite identically, so equal sources always
+// yield equal keys. Caller holds s.mu.
+func (s *Server) progKeyLocked(prog *ir.Program) uint64 {
+	if k, ok := s.progKeys[prog]; ok {
+		return k
+	}
+	k := prog.Fingerprint()
+	s.progKeys[prog] = k
+	return k
+}
+
+// coalesceKey identifies a coalesce group: the program fingerprint, the
+// request's input contents (the conflict keys already hash name +
+// checksum), and the fetch set. Requests with equal keys run the same
+// deterministic program on the same inputs, so one execution serves all.
+func coalesceKey(progKey uint64, keys []uint64, fetch []string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(progKey)
+	for _, k := range keys {
+		put(k)
+	}
+	names := append([]string(nil), fetch...)
+	sort.Strings(names)
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
 // Submit enqueues a program for a tenant and returns its Future. Admission
 // control rejects when the queue or the tenant's in-flight allowance is
 // exhausted, so a flooding tenant cannot starve the pool.
+//
+// With Config.Coalesce on, a submission that matches an open coalesce
+// group (same program, inputs, and fetch set; leader submitted at most
+// CoalesceWindow tickets ago; group below MaxBatch) joins the group
+// instead of queueing: it bypasses the queue-depth and shed checks (it
+// consumes no queue slot or worker), but still counts against the
+// per-tenant allowance. Whether the leader has already finished does not
+// change the follower's result or virtual latency, so admission is
+// interleaving-independent.
 func (s *Server) Submit(tenant string, prog *ir.Program, opts SubmitOptions) (*Future, error) {
 	if tenant == "" {
 		tenant = "default"
@@ -300,6 +469,54 @@ func (s *Server) Submit(tenant string, prog *ir.Program, opts SubmitOptions) (*F
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	canCoalesce := s.conf.Coalesce && opts.Bind == nil && !opts.NoCoalesce
+	var keys []uint64
+	var progKey, coalKey uint64
+	if canCoalesce || s.cc != nil {
+		s.rewriteLocked(prog)
+		progKey = s.progKeyLocked(prog)
+	}
+	if canCoalesce {
+		keys = conflictKeys(opts.Inputs)
+		coalKey = coalesceKey(progKey, keys, opts.Fetch)
+		if g := s.groups[coalKey]; g != nil && s.nextTicket+1-g.leader <= s.conf.CoalesceWindow &&
+			g.size < s.conf.MaxBatch && !(g.done && g.err != nil) {
+			if s.tenantLoad[tenant] >= s.conf.MaxPerTenant {
+				s.rejected++
+				return nil, ErrTenantLimit
+			}
+			if w := opts.Weight; w > 0 {
+				s.weight[tenant] = w
+			} else if s.weight[tenant] == 0 {
+				s.weight[tenant] = 1
+			}
+			s.nextTicket++
+			req := &request{
+				tenant:  tenant,
+				prog:    prog,
+				opts:    opts,
+				ticket:  s.nextTicket,
+				keys:    keys,
+				progKey: progKey,
+				group:   g,
+				coalKey: coalKey,
+				done:    make(chan struct{}),
+				srv:     s,
+			}
+			g.size++
+			s.tenantLoad[tenant]++
+			s.submitted++
+			s.coalesced++
+			if g.done {
+				res, copySvc, err := s.followerOutcome(req, g)
+				s.accountFollowerLocked(req, res, copySvc, err)
+				req.resolve(res, err)
+			} else {
+				g.waiters = append(g.waiters, req)
+			}
+			return &Future{req: req}, nil
+		}
 	}
 	if s.conf.ShedThreshold > 0 && len(s.queue) >= s.conf.ShedThreshold {
 		s.rejected++
@@ -314,30 +531,35 @@ func (s *Server) Submit(tenant string, prog *ir.Program, opts SubmitOptions) (*F
 		s.rejected++
 		return nil, ErrTenantLimit
 	}
-	// Program rewrites mutate the ir.Program and are not idempotent; apply
-	// them exactly once per program object, before any worker can run it.
-	if s.conf.Rewrite && s.conf.Runtime.Mode == runtime.ReuseMemphis {
-		if _, done := s.rewritten[prog]; !done {
-			compiler.AutoTune(prog)
-			compiler.InjectLoopCheckpoints(prog)
-			compiler.InjectEvictions(prog)
-			s.rewritten[prog] = struct{}{}
-		}
+	s.rewriteLocked(prog)
+	if s.cc != nil {
+		progKey = s.progKeyLocked(prog)
 	}
 	w := opts.Weight
 	if w <= 0 {
 		w = 1
 	}
 	s.weight[tenant] = w
+	if keys == nil {
+		keys = conflictKeys(opts.Inputs)
+	}
 	s.nextTicket++
 	req := &request{
-		tenant: tenant,
-		prog:   prog,
-		opts:   opts,
-		ticket: s.nextTicket,
-		keys:   conflictKeys(opts.Inputs),
-		global: opts.Bind != nil,
-		done:   make(chan struct{}),
+		tenant:  tenant,
+		prog:    prog,
+		opts:    opts,
+		ticket:  s.nextTicket,
+		keys:    keys,
+		global:  opts.Bind != nil,
+		progKey: progKey,
+		done:    make(chan struct{}),
+		srv:     s,
+	}
+	if canCoalesce {
+		g := &coalesceGroup{leader: req.ticket, size: 1}
+		req.group = g
+		req.coalKey = coalKey
+		s.groups[coalKey] = g
 	}
 	s.queue = append(s.queue, req)
 	s.tenantLoad[tenant]++
@@ -434,7 +656,7 @@ func (s *Server) worker() {
 		}
 		s.mu.Unlock()
 
-		s.execute(req)
+		res, err := s.execute(req)
 
 		s.mu.Lock()
 		s.tenantActive[req.tenant] = false
@@ -449,18 +671,170 @@ func (s *Server) worker() {
 				}
 			}
 		}
-		if req.res != nil {
-			s.service[req.tenant] += req.res.VirtualSeconds / s.weight[req.tenant]
-			s.vtimeTotal += req.res.VirtualSeconds
+		if res != nil {
+			s.service[req.tenant] += res.VirtualSeconds / s.weight[req.tenant]
+			s.vtimeTotal += res.VirtualSeconds
 		}
-		if req.err != nil {
+		if err != nil {
 			s.failed++
 		}
 		s.completed++
+		// Seal the coalesce group (if this request leads one) so later
+		// joins are served inline, and take the current waiters for
+		// fan-out.
+		var g *coalesceGroup
+		var waiters []*request
+		if req.group != nil && req.group.leader == req.ticket {
+			g = req.group
+			g.done = true
+			g.res, g.err = res, err
+			waiters = g.waiters
+			g.waiters = nil
+			// A group sealed with an error stops accepting joiners: the
+			// waiters inherit the failure, but fresh submissions (new
+			// tickets, new fault streams) start a new group.
+			if err != nil && s.groups[req.coalKey] == g {
+				delete(s.groups, req.coalKey)
+			}
+		}
 		s.mu.Unlock()
 		s.cond.Broadcast()
-		close(req.done)
+		req.resolve(res, err)
+		for _, w := range waiters {
+			fres, copySvc, ferr := s.followerOutcome(w, g)
+			s.mu.Lock()
+			s.accountFollowerLocked(w, fres, copySvc, ferr)
+			s.mu.Unlock()
+			w.resolve(fres, ferr)
+		}
+		if len(waiters) > 0 {
+			s.cond.Broadcast()
+		}
 	}
+}
+
+// followerOutcome builds a follower's result from its group's sealed
+// outcome. The follower receives independent deep copies of the leader's
+// fetched values and is charged the leader's virtual latency plus one
+// host-memory copy per value (costs.Transfer(bytes, MemBW, CopyLatency)) —
+// a deterministic function of the leader's outcome, so identical for every
+// interleaving and for followers joining before or after the leader ran.
+// A leader error propagates (wrapped with the follower's identity); the
+// follower's total latency is then checked against the deadline like any
+// other request.
+func (s *Server) followerOutcome(w *request, g *coalesceGroup) (*Result, float64, error) {
+	if g.res == nil {
+		return nil, 0, fmt.Errorf("serve: request %d (%s): coalesced with request %d: %w",
+			w.ticket, w.tenant, g.leader, g.err)
+	}
+	names := make([]string, 0, len(g.res.Values))
+	for n := range g.res.Values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	values := make(map[string]*data.Matrix, len(names))
+	copyCost := 0.0
+	for _, n := range names {
+		m := g.res.Values[n]
+		values[n] = m.Clone()
+		copyCost += costs.Transfer(m.SizeBytes(), s.model.MemBW, s.model.CopyLatency)
+	}
+	res := &Result{
+		Tenant:         w.tenant,
+		Ticket:         w.ticket,
+		VirtualSeconds: g.res.VirtualSeconds + copyCost,
+		Values:         values,
+		Coalesced:      true,
+		CoalescedWith:  g.leader,
+	}
+	if g.err != nil {
+		return res, copyCost, fmt.Errorf("serve: request %d (%s): coalesced with request %d: %w",
+			w.ticket, w.tenant, g.leader, g.err)
+	}
+	if s.conf.Deadline > 0 && res.VirtualSeconds > s.conf.Deadline {
+		return res, copyCost, fmt.Errorf("serve: request %d (%s): %w (%.3fs > %.3fs)",
+			w.ticket, w.tenant, ErrDeadline, res.VirtualSeconds, s.conf.Deadline)
+	}
+	return res, copyCost, nil
+}
+
+// accountFollowerLocked applies a delivered follower's bookkeeping: it
+// releases the tenant slot, counts completion/failure, and charges only
+// the fan-out copy to the tenant's WFQ service (the follower occupied no
+// worker). Caller holds s.mu.
+func (s *Server) accountFollowerLocked(w *request, res *Result, copySvc float64, err error) {
+	s.tenantLoad[w.tenant]--
+	if res != nil {
+		s.service[w.tenant] += copySvc / s.weight[w.tenant]
+		s.vtimeTotal += res.VirtualSeconds
+	}
+	if err != nil {
+		s.failed++
+		if errors.Is(err, ErrDeadline) {
+			s.deadlineFails++
+		}
+	}
+	s.completed++
+}
+
+// cancel implements Future.Cancel: withdraw the request if it is still
+// queued or waiting in a coalesce group; otherwise do nothing.
+func (s *Server) cancel(req *request) {
+	s.mu.Lock()
+	if req.cancelled {
+		s.mu.Unlock()
+		return
+	}
+	removed := false
+	for i, r := range s.queue {
+		if r == req {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	if !removed && req.group != nil && req.group.leader != req.ticket {
+		g := req.group
+		for i, w := range g.waiters {
+			if w == req {
+				g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+				removed = true
+				break
+			}
+		}
+	}
+	var orphans []*request
+	if removed {
+		req.cancelled = true
+		s.tenantLoad[req.tenant]--
+		s.canceled++
+		s.completed++
+		// A canceled group leader never executes: fail the group over so
+		// its waiters don't hang. They resolve with the leader's
+		// cancellation; the group is sealed so later joins see it too.
+		if g := req.group; g != nil && g.leader == req.ticket && !g.done {
+			g.done = true
+			g.err = fmt.Errorf("serve: coalesce leader %d: %w", req.ticket, ErrCanceled)
+			orphans = g.waiters
+			g.waiters = nil
+			if s.groups[req.coalKey] == g {
+				delete(s.groups, req.coalKey)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !removed {
+		return
+	}
+	req.resolve(nil, fmt.Errorf("serve: request %d (%s): %w", req.ticket, req.tenant, ErrCanceled))
+	for _, w := range orphans {
+		fres, copySvc, ferr := s.followerOutcome(w, w.group)
+		s.mu.Lock()
+		s.accountFollowerLocked(w, fres, copySvc, ferr)
+		s.mu.Unlock()
+		w.resolve(fres, ferr)
+	}
+	s.cond.Broadcast()
 }
 
 // execute runs one request through the retry loop: each attempt executes on a
@@ -470,7 +844,7 @@ func (s *Server) worker() {
 // latency — execution plus accumulated backoff — is checked against the
 // deadline. Everything in the loop is a pure function of the ticket, so
 // latencies stay interleaving-independent.
-func (s *Server) execute(req *request) {
+func (s *Server) execute(req *request) (*Result, error) {
 	backoff := 0.0
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -482,13 +856,10 @@ func (s *Server) execute(req *request) {
 				s.mu.Lock()
 				s.deadlineFails++
 				s.mu.Unlock()
-				req.res = res
-				req.err = fmt.Errorf("serve: request %d (%s): %w (%.3fs > %.3fs)",
+				return res, fmt.Errorf("serve: request %d (%s): %w (%.3fs > %.3fs)",
 					req.ticket, req.tenant, ErrDeadline, res.VirtualSeconds, s.conf.Deadline)
-				return
 			}
-			req.res = res
-			return
+			return res, nil
 		}
 		lastErr = err
 		if attempt >= s.conf.MaxRetries {
@@ -499,7 +870,7 @@ func (s *Server) execute(req *request) {
 		s.retries++
 		s.mu.Unlock()
 	}
-	req.err = lastErr
+	return nil, lastErr
 }
 
 // runAttempt runs one attempt of a request on a fresh session attached to the
@@ -537,6 +908,9 @@ func (s *Server) runAttempt(req *request, attempt int) (res *Result, err error) 
 		}
 	}()
 	ctx.AttachShared(s.shared, req.tenant)
+	if s.cc != nil {
+		ctx.AttachCompileCache(s.cc, req.progKey)
+	}
 	names := make([]string, 0, len(req.opts.Inputs))
 	for n := range req.opts.Inputs {
 		names = append(names, n)
@@ -592,12 +966,17 @@ type Snapshot struct {
 	Retries          int64            `json:"retries,omitempty"`
 	DeadlineFailures int64            `json:"deadline_failures,omitempty"`
 	Faults           map[string]int64 `json:"faults,omitempty"`
+	// Coalesced counts follower requests served by a group leader's
+	// execution; Canceled counts futures withdrawn before starting.
+	Coalesced int64 `json:"coalesced,omitempty"`
+	Canceled  int64 `json:"canceled,omitempty"`
 	// WallSeconds and Throughput are real-time aggregates; virtual times
 	// stay per-session and deterministic.
-	WallSeconds             float64     `json:"wall_seconds"`
-	Throughput              float64     `json:"throughput_rps"`
-	AggregateVirtualSeconds float64     `json:"aggregate_virtual_seconds"`
-	Shared                  SharedStats `json:"shared"`
+	WallSeconds             float64            `json:"wall_seconds"`
+	Throughput              float64            `json:"throughput_rps"`
+	AggregateVirtualSeconds float64            `json:"aggregate_virtual_seconds"`
+	Shared                  SharedStats        `json:"shared"`
+	CompileCache            *CompileCacheStats `json:"compile_cache,omitempty"`
 }
 
 // Snapshot returns current queue, throughput, and shared-cache statistics.
@@ -613,6 +992,8 @@ func (s *Server) Snapshot() Snapshot {
 		Shed:                    s.shed,
 		Retries:                 s.retries,
 		DeadlineFailures:        s.deadlineFails,
+		Coalesced:               s.coalesced,
+		Canceled:                s.canceled,
 		WallSeconds:             time.Since(s.start).Seconds(),
 		AggregateVirtualSeconds: s.vtimeTotal,
 	}
@@ -627,6 +1008,10 @@ func (s *Server) Snapshot() Snapshot {
 		snap.Throughput = float64(snap.Completed) / snap.WallSeconds
 	}
 	snap.Shared = s.shared.StatsSnapshot()
+	if s.cc != nil {
+		st := s.cc.StatsSnapshot()
+		snap.CompileCache = &st
+	}
 	return snap
 }
 

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotDuringTenantRegistration is the -race regression test for the
+// shared-cache stats read path: Snapshot (which walks the memory arbiter's
+// pool list) runs concurrently with first-touch tenant-pool registration
+// and publish-driven eviction pressure. Before the arbiter copied its pool
+// slice under the read lock, Register's in-place replacement of a
+// same-name pool raced the totals walk and tripped the race detector here.
+func TestSnapshotDuringTenantRegistration(t *testing.T) {
+	conf := DefaultConfig()
+	conf.Workers = 4
+	// A tight shared budget keeps eviction (MakeSpace -> GlobalHeadroom ->
+	// totals) active on the publish path while new tenants register.
+	conf.Shared.Budget = 64 << 10
+	conf.Shared.TenantBudget = 16 << 10
+	srv := New(conf)
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var pollers sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := srv.Snapshot()
+				_ = len(snap.Shared.Pools)
+				_ = srv.Shared().StatsSnapshot()
+			}
+		}()
+	}
+
+	// Every tenant is new: each first publish registers a fresh pool with
+	// the arbiter while the pollers walk it.
+	w := hcvWorkload()
+	const tenants = 12
+	futs := make([]*Future, tenants)
+	for i := range futs {
+		f, err := srv.Submit(fmt.Sprintf("tenant-%d", i), w.Prog,
+			SubmitOptions{Inputs: w.HostInputs(), Fetch: []string{"best"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = f
+	}
+	for i, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	close(stop)
+	pollers.Wait()
+}

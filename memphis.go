@@ -426,6 +426,23 @@ type ServerOptions struct {
 	// ShedThreshold, when positive, sheds new submissions with
 	// serve.ErrOverloaded once the queue reaches this depth.
 	ShedThreshold int
+
+	// DisableCompileCache turns off the cross-tenant compiled-plan cache
+	// (on by default: hot programs compile, auto-tune, and memory-plan
+	// once per (program, shapes, config) key and are reused read-only by
+	// every session; results and virtual latencies are unaffected).
+	// CompileShards sizes its lock-shard count (default 16).
+	DisableCompileCache bool
+	CompileShards       int
+	// Coalesce enables batched admission: submissions resolving to the
+	// same compiled plan over the same inputs and fetch set join the
+	// in-flight request's coalesce group — one execution fans out
+	// independent result copies to all of them. CoalesceWindow (tickets,
+	// default 256) and MaxBatch (group size cap, default 64) bound a
+	// group. See serve.Config for the follower latency rule.
+	Coalesce       bool
+	CoalesceWindow uint64
+	MaxBatch       int
 	// DisabledShards starts the listed shared-cache shards degraded: probes
 	// miss and publishes are rejected, so sessions recompute instead of
 	// failing.
@@ -473,6 +490,17 @@ func NewServer(opts ServerOptions) *Server {
 	}
 	conf.ShedThreshold = opts.ShedThreshold
 	conf.DisabledShards = opts.DisabledShards
+	conf.CompileCache = !opts.DisableCompileCache
+	if opts.CompileShards > 0 {
+		conf.CompileShards = opts.CompileShards
+	}
+	conf.Coalesce = opts.Coalesce
+	if opts.CoalesceWindow > 0 {
+		conf.CoalesceWindow = opts.CoalesceWindow
+	}
+	if opts.MaxBatch > 0 {
+		conf.MaxBatch = opts.MaxBatch
+	}
 	return serve.New(conf)
 }
 
