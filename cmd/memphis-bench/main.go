@@ -70,18 +70,21 @@ func main() {
 		}
 		start := time.Now()
 		var tb *bench.Table
-		if *quick {
-			tb = e.Quick()
-		} else {
-			tb = e.Run()
-		}
+		allocs, bytes := bench.MeasureAllocs(func() {
+			if *quick {
+				tb = e.Quick()
+			} else {
+				tb = e.Run()
+			}
+		})
 		wall := time.Since(start).Seconds()
 		if *jsonOut {
-			results = append(results, tb.Result(wall, data.Parallelism()))
+			results = append(results, tb.Result(wall, data.Parallelism(), allocs, bytes))
 			continue
 		}
 		fmt.Println(tb.String())
-		fmt.Printf("(wall time %.1fs)\n\n", wall)
+		fmt.Printf("(wall time %.1fs, %d allocs, %.1f MB allocated)\n\n",
+			wall, allocs, float64(bytes)/(1<<20))
 	}
 	if *jsonOut {
 		out, err := bench.MarshalResults(results)
@@ -95,7 +98,9 @@ func main() {
 
 // memReport runs representative workloads on a full-reuse session and
 // prints the unified memory arbiter's per-pool rows (memphis-bench -mem),
-// including each pool's peak (high-water) bytes. A non-zero cpBudget
+// including each pool's peak (high-water) bytes. Sessions run with
+// elementwise fusion and the buffer arena enabled, so the "arena" pool's
+// retained/peak/eviction row appears alongside cp/spark/gpu. A non-zero cpBudget
 // shrinks the driver cache via Options.MemoryBudgets to make eviction,
 // spill, and demotion activity visible; planOn additionally enables the
 // memory planner and appends an evictions-per-planned-stream table.
@@ -119,10 +124,17 @@ func memReport(cpBudget int64, planOn, jsonOut bool) {
 		Predicted int64   `json:"predicted_evictions"`
 		EvPerRun  float64 `json:"ev_per_run"`
 	}
+	type arenaOps struct {
+		Gets    int64 `json:"gets"`
+		Reuses  int64 `json:"reuses"`
+		Puts    int64 `json:"puts"`
+		Escapes int64 `json:"escapes"`
+	}
 	type row struct {
 		Workload       string              `json:"workload"`
 		VirtualSeconds float64             `json:"virtual_seconds"`
 		Pools          []memphis.PoolStats `json:"pools"`
+		Arena          arenaOps            `json:"arena"`
 		Plans          []planRow           `json:"plans,omitempty"`
 	}
 	var rows []row
@@ -130,6 +142,8 @@ func memReport(cpBudget int64, planOn, jsonOut bool) {
 		w := c.build()
 		s := memphis.New(memphis.Options{
 			Reuse:         memphis.ReuseFull,
+			Fusion:        true,
+			Arena:         true,
 			MemoryBudgets: memphis.MemoryBudgets{CP: cpBudget},
 			MemoryPlanner: planOn,
 		})
@@ -147,6 +161,7 @@ func memReport(cpBudget int64, planOn, jsonOut bool) {
 			os.Exit(1)
 		}
 		r := row{Workload: c.name, VirtualSeconds: s.VirtualTime(), Pools: s.MemoryStats()}
+		r.Arena.Gets, r.Arena.Reuses, r.Arena.Puts, r.Arena.Escapes = s.ArenaStats()
 		if planOn {
 			for _, p := range s.PlanReports() {
 				pr := planRow{Seq: p.Seq, Sig: p.Sig, Runs: p.Runs, PeakBytes: p.PeakBytes,
@@ -178,6 +193,8 @@ func memReport(cpBudget int64, planOn, jsonOut bool) {
 				p.Name, p.Used, p.PeakUsed, p.Budget, p.Pressure, p.PressureEvents,
 				p.Evictions, p.EvictedBytes, p.Demotions)
 		}
+		fmt.Printf("  arena ops: gets=%d reuses=%d puts=%d escapes=%d\n",
+			r.Arena.Gets, r.Arena.Reuses, r.Arena.Puts, r.Arena.Escapes)
 		if len(r.Plans) > 0 {
 			fmt.Printf("  %-4s %-16s %6s %10s %6s %6s %7s %9s %7s\n",
 				"plan", "sig", "runs", "peakB", "frees", "splits", "evict", "predict", "ev/run")

@@ -3,8 +3,12 @@
 //
 // Usage:
 //
-//	memphis-run [-reuse full|fine|local|coarse|off] [-gpu] [-print var] script.dml
+//	memphis-run [-reuse full|fine|local|coarse|off] [-gpu] [-fuse] [-arena] [-print var] script.dml
 //	memphis-run -plan [-json] [-membudget n] script.dml
+//
+// -fuse enables the compile-time elementwise fusion pass and -arena the
+// pooled output-buffer arena; both change only allocation behaviour —
+// results are bitwise identical with the flags on or off.
 //
 // With -plan, the compile-time memory planner (internal/memplan) is enabled
 // and each planned instruction stream's liveness table, peak-memory profile,
@@ -29,6 +33,8 @@ func main() {
 	reuse := flag.String("reuse", "full", "reuse mode: full|fine|local|coarse|off")
 	gpu := flag.Bool("gpu", false, "enable the simulated GPU backend")
 	printVar := flag.String("print", "", "print this variable's value after the run")
+	fuse := flag.Bool("fuse", false, "enable compile-time elementwise fusion (results are bitwise identical either way)")
+	arena := flag.Bool("arena", false, "enable the pooled output-buffer arena (results are bitwise identical either way)")
 	plan := flag.Bool("plan", false, "enable the memory planner and dump per-stream liveness and peak profiles")
 	jsonOut := flag.Bool("json", false, "with -plan: dump the plan reports as JSON")
 	memBudget := flag.Int64("membudget", 0, "driver-cache budget in bytes (0 = default); the planner's bounding budget")
@@ -55,6 +61,8 @@ func main() {
 	s := memphis.New(memphis.Options{
 		Reuse:         mode,
 		EnableGPU:     *gpu,
+		Fusion:        *fuse,
+		Arena:         *arena,
 		MemoryPlanner: *plan,
 		MemoryBudgets: memphis.MemoryBudgets{CP: *memBudget},
 	})

@@ -1,12 +1,18 @@
 package bench
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"runtime"
+)
 
 // Result is the machine-readable form of one experiment run, emitted by
 // `memphis-bench -json` so BENCH_*.json trajectory files can accumulate
 // across sessions. Rows carry the virtual times (and speedup columns) the
 // table prints; WallSeconds is the simulator's real regeneration cost at
-// the recorded kernel parallelism.
+// the recorded kernel parallelism. AllocsPerOp/BytesPerOp are the heap
+// allocation deltas (runtime.ReadMemStats Mallocs/TotalAlloc) of one
+// experiment regeneration — the "op" is the whole table rebuild — so the
+// fusion/arena alloc savings stay visible in trajectory files.
 type Result struct {
 	ID          string     `json:"id"`
 	Title       string     `json:"title"`
@@ -15,10 +21,12 @@ type Result struct {
 	Notes       []string   `json:"notes,omitempty"`
 	WallSeconds float64    `json:"wall_seconds"`
 	Parallelism int        `json:"parallelism"`
+	AllocsPerOp int64      `json:"allocs_per_op"`
+	BytesPerOp  int64      `json:"bytes_per_op"`
 }
 
 // Result converts a finished table into its machine-readable form.
-func (t *Table) Result(wallSeconds float64, parallelism int) Result {
+func (t *Table) Result(wallSeconds float64, parallelism int, allocs, bytes int64) Result {
 	return Result{
 		ID:          t.ID,
 		Title:       t.Title,
@@ -27,7 +35,23 @@ func (t *Table) Result(wallSeconds float64, parallelism int) Result {
 		Notes:       t.Notes,
 		WallSeconds: wallSeconds,
 		Parallelism: parallelism,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
 	}
+}
+
+// MeasureAllocs runs f and returns the heap allocation delta it incurred:
+// allocation count (Mallocs) and bytes (TotalAlloc). A GC runs first so
+// retained garbage from earlier work is not attributed to f; the counters
+// are cumulative-monotonic, so concurrent background allocation (none in
+// the single-process bench driver) would be the only source of noise.
+func MeasureAllocs(f func()) (allocs, bytes int64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs - before.Mallocs), int64(after.TotalAlloc - before.TotalAlloc)
 }
 
 // MarshalResults renders results as indented JSON.

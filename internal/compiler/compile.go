@@ -25,6 +25,12 @@ type Config struct {
 	// CheckpointInjection enables the within-block checkpoint rewrite for
 	// overlapping Spark jobs (§5.2).
 	CheckpointInjection bool
+	// Fusion enables the elementwise fusion pass: maximal chains of
+	// CP-placed elementwise/unary/scalar ops collapse into single fused
+	// instructions executed as one loop with zero intermediate matrices.
+	// Results are bitwise-identical with fusion on or off; the flag joins
+	// the serving layer's compile-cache key via the config fold.
+	Fusion bool
 }
 
 // DefaultConfig returns placement thresholds for simulation scale.
@@ -116,6 +122,9 @@ func CompileBlock(bb *ir.BasicBlock, env map[string]ir.Shape, conf Config) []Ins
 		bc.env[st.Targets[0]] = bc.shapes[root]
 	}
 	insts := bc.out
+	if conf.Fusion {
+		insts = FuseElementwise(insts)
+	}
 	if conf.CheckpointInjection {
 		insts = injectBlockCheckpoints(insts)
 	}

@@ -1,0 +1,356 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memphis/internal/core"
+	"memphis/internal/ir"
+)
+
+// Elementwise fusion pass. FuseElementwise collapses maximal chains of
+// CP-placed elementwise/unary/scalar instructions into single fused
+// instructions executed as one loop with zero intermediate matrices
+// (internal/data's fused interpreter). A temporary is eliminated exactly
+// when its only reader in the whole stream is the fusable instruction that
+// absorbs it; named variables and temporaries with other readers stay
+// materialized as the fused chain's output or leaves, so every name any
+// other instruction can observe still exists. Fusion is a pure stream
+// rewrite: results, at any parallelism, are bitwise-identical to the
+// unfused stream, and the runtime replays the constituent ops during
+// lineage tracing so reuse keys survive fusion on/off.
+
+// fusableOps is the elementwise/unary/scalar opcode set the fused
+// interpreter understands.
+var fusableOps = map[string]bool{
+	"+": true, "-": true, "*": true, "/": true,
+	"min": true, "max": true, ">": true, "<": true,
+	"exp": true, "log": true, "sqrt": true, "abs": true,
+	"sigmoid": true, "relu": true, "pow": true,
+}
+
+// fusable reports whether an instruction may join a fused chain: an
+// ordinary CP op from the elementwise set with a single output and no
+// attributes beyond pow's exponent (attrs like skipLast change semantics
+// and keep the instruction out of fusion).
+func fusable(in *Instruction) bool {
+	if in.Kind != KindOp || in.Backend != core.BackendCP ||
+		len(in.Outputs) != 1 || !fusableOps[in.Op] {
+		return false
+	}
+	for k := range in.Attrs {
+		if in.Op != "pow" || k != "p" {
+			return false
+		}
+	}
+	return true
+}
+
+// fuseArg references a leaf (Leaf >= 0) or an earlier step (Leaf < 0).
+type fuseArg struct {
+	leaf int
+	step int
+}
+
+// fuseStep is one constituent instruction of a growing chain.
+type fuseStep struct {
+	op   string
+	pstr string
+	args []fuseArg
+}
+
+// fuseGroup is a chain of constituent instructions being fused.
+type fuseGroup struct {
+	constituents []int // stream positions, ascending
+	steps        []fuseStep
+	leaves       []string
+	leafShapes   []ir.Shape
+	leafIdx      map[string]int
+	final        string
+	shape        ir.Shape
+	flops        float64
+}
+
+func newFuseGroup() *fuseGroup {
+	return &fuseGroup{leafIdx: make(map[string]int)}
+}
+
+func (g *fuseGroup) lastPos() int { return g.constituents[len(g.constituents)-1] }
+
+func (g *fuseGroup) internLeaf(name string, shape ir.Shape) int {
+	if idx, ok := g.leafIdx[name]; ok {
+		return idx
+	}
+	idx := len(g.leaves)
+	g.leafIdx[name] = idx
+	g.leaves = append(g.leaves, name)
+	g.leafShapes = append(g.leafShapes, shape)
+	return idx
+}
+
+// isTempName reports whether a name is a compiler temporary (block-local,
+// never redefined) — the only names fusion may eliminate.
+func isTempName(name string) bool { return strings.HasPrefix(name, "_t") }
+
+// FuseElementwise rewrites a linearized stream, replacing every fused
+// chain of length >= 2 with one fused instruction at the position of its
+// last constituent. Streams with nothing to fuse are returned unchanged.
+func FuseElementwise(insts []Instruction) []Instruction {
+	// Global reader sets: a temp is absorbable only when its sole reader
+	// anywhere in the stream is the absorbing instruction. Temps are
+	// unique names, so the global set is exact for them.
+	readers := make(map[string]map[int]bool)
+	for i := range insts {
+		for _, in := range insts[i].Inputs {
+			if IsLiteral(in) {
+				continue
+			}
+			if readers[in] == nil {
+				readers[in] = make(map[int]bool)
+			}
+			readers[in][i] = true
+		}
+	}
+	soleReader := func(name string, i int) bool {
+		rs := readers[name]
+		return len(rs) == 1 && rs[i]
+	}
+	// extendable: moving g's leaf reads from g's last constituent to
+	// position i is safe only if nothing in between writes a leaf.
+	inGroup := func(g *fuseGroup, pos int) bool {
+		for _, c := range g.constituents {
+			if c == pos {
+				return true
+			}
+		}
+		return false
+	}
+	extendable := func(g *fuseGroup, i int) bool {
+		for j := g.lastPos() + 1; j < i; j++ {
+			if inGroup(g, j) {
+				continue
+			}
+			for _, o := range insts[j].Outputs {
+				if _, isLeaf := g.leafIdx[o]; isLeaf {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	groupAt := make([]*fuseGroup, len(insts))
+	open := make(map[string]*fuseGroup) // current final name -> group
+	for i := range insts {
+		inst := &insts[i]
+		if !fusable(inst) {
+			// Any write invalidates chains ending in that name: later
+			// readers see the new value, not the chain's.
+			for _, o := range inst.Outputs {
+				delete(open, o)
+			}
+			continue
+		}
+		out := inst.Output()
+		// Producer groups this instruction can absorb: open chains whose
+		// final is a same-shape temp read only here.
+		var prods []*fuseGroup
+		seen := make(map[*fuseGroup]bool)
+		for _, in := range inst.Inputs {
+			if IsLiteral(in) {
+				continue
+			}
+			g := open[in]
+			if g == nil || seen[g] {
+				continue
+			}
+			if g.shape == inst.Shape && isTempName(in) && soleReader(in, i) && extendable(g, i) {
+				seen[g] = true
+				prods = append(prods, g)
+			}
+		}
+		g, finalStep := mergeGroups(prods)
+		st := fuseStep{op: inst.Op, pstr: inst.Attr("p")}
+		for ai, in := range inst.Inputs {
+			if !IsLiteral(in) {
+				if sIdx, ok := finalStep[in]; ok {
+					st.args = append(st.args, fuseArg{leaf: -1, step: sIdx})
+					continue
+				}
+			}
+			idx := g.internLeaf(in, inst.InShapes[ai])
+			st.args = append(st.args, fuseArg{leaf: idx})
+		}
+		g.steps = append(g.steps, st)
+		g.constituents = append(g.constituents, i)
+		g.flops += inst.Flops
+		g.final = out
+		g.shape = inst.Shape
+		for _, p := range prods {
+			delete(open, p.final)
+		}
+		delete(open, out) // redefinition closes any chain ending in out
+		open[out] = g
+		for _, pos := range g.constituents {
+			groupAt[pos] = g
+		}
+	}
+
+	fused := false
+	for _, g := range groupAt {
+		if g != nil && len(g.steps) >= 2 {
+			fused = true
+			break
+		}
+	}
+	if !fused {
+		return insts
+	}
+	out := make([]Instruction, 0, len(insts))
+	for i := range insts {
+		g := groupAt[i]
+		if g == nil || len(g.steps) < 2 {
+			out = append(out, insts[i])
+			continue
+		}
+		if i == g.lastPos() {
+			out = append(out, g.instruction())
+		}
+	}
+	return out
+}
+
+// mergeGroups combines producer chains into one group with steps renumbered
+// in ascending stream order, returning the merged group and the map from
+// each producer's (absorbed) final name to its step index.
+func mergeGroups(prods []*fuseGroup) (*fuseGroup, map[string]int) {
+	g := newFuseGroup()
+	finalStep := make(map[string]int)
+	if len(prods) == 0 {
+		return g, finalStep
+	}
+	type src struct {
+		pos   int
+		owner *fuseGroup
+		local int
+	}
+	var srcs []src
+	for _, p := range prods {
+		for li, pos := range p.constituents {
+			srcs = append(srcs, src{pos: pos, owner: p, local: li})
+		}
+	}
+	sort.Slice(srcs, func(a, b int) bool { return srcs[a].pos < srcs[b].pos })
+	remap := make(map[*fuseGroup][]int, len(prods))
+	for _, p := range prods {
+		remap[p] = make([]int, len(p.steps))
+		g.flops += p.flops
+	}
+	for _, s := range srcs {
+		old := s.owner.steps[s.local]
+		st := fuseStep{op: old.op, pstr: old.pstr}
+		for _, a := range old.args {
+			if a.leaf >= 0 {
+				idx := g.internLeaf(s.owner.leaves[a.leaf], s.owner.leafShapes[a.leaf])
+				st.args = append(st.args, fuseArg{leaf: idx})
+			} else {
+				st.args = append(st.args, fuseArg{leaf: -1, step: remap[s.owner][a.step]})
+			}
+		}
+		remap[s.owner][s.local] = len(g.steps)
+		g.steps = append(g.steps, st)
+		g.constituents = append(g.constituents, s.pos)
+	}
+	for _, p := range prods {
+		finalStep[p.final] = remap[p][len(p.steps)-1]
+	}
+	return g, finalStep
+}
+
+// instruction materializes a fused chain as one instruction. The "prog"
+// attribute is the deterministic step encoding; "fp" is the ir fingerprint
+// of the sub-DAG the chain collapsed, making fused-chain identity checkable
+// independently of leaf naming.
+func (g *fuseGroup) instruction() Instruction {
+	var b strings.Builder
+	for k, st := range g.steps {
+		if k > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(st.op)
+		if st.pstr != "" {
+			fmt.Fprintf(&b, "{p=%s}", st.pstr)
+		}
+		b.WriteByte('(')
+		for ai, a := range st.args {
+			if ai > 0 {
+				b.WriteByte(',')
+			}
+			if a.leaf >= 0 {
+				fmt.Fprintf(&b, "$%d", a.leaf)
+			} else {
+				fmt.Fprintf(&b, "@%d", a.step)
+			}
+		}
+		b.WriteByte(')')
+	}
+	return Instruction{
+		Kind:    KindOp,
+		Op:      ir.FusedOp,
+		Inputs:  append([]string(nil), g.leaves...),
+		Outputs: []string{g.final},
+		Attrs: map[string]string{
+			"prog": b.String(),
+			"fp":   fmt.Sprintf("%016x", ir.FingerprintNode(g.subDAG())),
+		},
+		Backend:  core.BackendCP,
+		Shape:    g.shape,
+		Flops:    g.flops,
+		InShapes: append([]ir.Shape(nil), g.leafShapes...),
+	}
+}
+
+// subDAG reconstructs the chain as an ir expression DAG (shared leaves keep
+// node identity) for fingerprinting.
+func (g *fuseGroup) subDAG() *ir.Node {
+	leafNodes := make([]*ir.Node, len(g.leaves))
+	for i, name := range g.leaves {
+		if IsLiteral(name) {
+			leafNodes[i] = ir.NewNode("lit").WithAttr("value", LiteralValue(name))
+		} else {
+			leafNodes[i] = ir.Var(name)
+		}
+	}
+	stepNodes := make([]*ir.Node, len(g.steps))
+	for i, st := range g.steps {
+		ins := make([]*ir.Node, len(st.args))
+		for ai, a := range st.args {
+			if a.leaf >= 0 {
+				ins[ai] = leafNodes[a.leaf]
+			} else {
+				ins[ai] = stepNodes[a.step]
+			}
+		}
+		n := ir.NewNode(st.op, ins...)
+		if st.pstr != "" {
+			n = n.WithAttr("p", st.pstr)
+		}
+		stepNodes[i] = n
+	}
+	return stepNodes[len(stepNodes)-1]
+}
+
+// FusedOpList extracts the constituent opcodes of a fused program encoding
+// ("+;exp;sigmoid") for rendering in traces and plan dumps.
+func FusedOpList(prog string) string {
+	parts := strings.Split(prog, ";")
+	ops := make([]string, len(parts))
+	for i, p := range parts {
+		if j := strings.IndexAny(p, "({"); j >= 0 {
+			p = p[:j]
+		}
+		ops[i] = p
+	}
+	return strings.Join(ops, ";")
+}

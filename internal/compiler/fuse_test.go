@@ -1,0 +1,163 @@
+package compiler
+
+import (
+	"testing"
+
+	"memphis/internal/core"
+	"memphis/internal/ir"
+)
+
+// ewInst builds a CP elementwise instruction for fusion-pass unit tests.
+func ewInst(op, out string, shape ir.Shape, ins []string, inShapes []ir.Shape) Instruction {
+	return Instruction{
+		Kind: KindOp, Op: op,
+		Inputs: ins, Outputs: []string{out},
+		Backend: core.BackendCP,
+		Shape:   shape, InShapes: inShapes,
+		Flops: float64(shape.Rows) * float64(shape.Cols),
+	}
+}
+
+func TestFuseElementwiseChain(t *testing.T) {
+	sh := ir.Shape{Rows: 8, Cols: 4}
+	lit := LiteralOperand("0.5")
+	stream := []Instruction{
+		ewInst("*", "_t1", sh, []string{"X", lit}, []ir.Shape{sh, {Rows: 1, Cols: 1}}),
+		ewInst("+", "_t2", sh, []string{"_t1", "Y"}, []ir.Shape{sh, sh}),
+		ewInst("exp", "_t3", sh, []string{"_t2"}, []ir.Shape{sh}),
+		ewInst("sigmoid", "Z", sh, []string{"_t3"}, []ir.Shape{sh}),
+	}
+	out := FuseElementwise(stream)
+	if len(out) != 1 {
+		t.Fatalf("fused stream has %d instructions, want 1: %v", len(out), out)
+	}
+	in := out[0]
+	if in.Op != ir.FusedOp || in.Output() != "Z" {
+		t.Fatalf("fused instruction = %s", in.String())
+	}
+	wantProg := "*($0,$1);+(@0,$2);exp(@1);sigmoid(@2)"
+	if got := in.Attr("prog"); got != wantProg {
+		t.Errorf("prog = %q, want %q", got, wantProg)
+	}
+	if len(in.Inputs) != 3 || in.Inputs[0] != "X" || in.Inputs[1] != lit || in.Inputs[2] != "Y" {
+		t.Errorf("leaves = %v", in.Inputs)
+	}
+	if in.Flops != 4*float64(sh.Rows)*float64(sh.Cols) {
+		t.Errorf("flops = %v, want sum of constituents", in.Flops)
+	}
+	if in.Attr("fp") == "" {
+		t.Errorf("fused instruction missing sub-DAG fingerprint")
+	}
+}
+
+// TestFuseDiamondMerge checks two producer chains feeding one consumer merge
+// into a single group with the shared leaf interned once.
+func TestFuseDiamondMerge(t *testing.T) {
+	sh := ir.Shape{Rows: 8, Cols: 4}
+	stream := []Instruction{
+		ewInst("exp", "_t1", sh, []string{"X"}, []ir.Shape{sh}),
+		ewInst("log", "_t2", sh, []string{"X"}, []ir.Shape{sh}),
+		ewInst("+", "Z", sh, []string{"_t1", "_t2"}, []ir.Shape{sh, sh}),
+	}
+	out := FuseElementwise(stream)
+	if len(out) != 1 {
+		t.Fatalf("fused stream has %d instructions, want 1", len(out))
+	}
+	if got, want := out[0].Attr("prog"), "exp($0);log($0);+(@0,@1)"; got != want {
+		t.Errorf("prog = %q, want %q", got, want)
+	}
+	if len(out[0].Inputs) != 1 || out[0].Inputs[0] != "X" {
+		t.Errorf("shared leaf not interned once: %v", out[0].Inputs)
+	}
+}
+
+// TestFuseKeepsMultiReaderTemps: a temp with a second reader elsewhere in
+// the stream must stay materialized, so nothing fuses here.
+func TestFuseKeepsMultiReaderTemps(t *testing.T) {
+	sh := ir.Shape{Rows: 8, Cols: 4}
+	stream := []Instruction{
+		ewInst("exp", "_t1", sh, []string{"X"}, []ir.Shape{sh}),
+		ewInst("+", "Z", sh, []string{"_t1", "Y"}, []ir.Shape{sh, sh}),
+		ewInst("*", "W", sh, []string{"_t1", "Y"}, []ir.Shape{sh, sh}),
+	}
+	out := FuseElementwise(stream)
+	if len(out) != len(stream) {
+		t.Fatalf("stream with multi-reader temp was rewritten: %v", out)
+	}
+	for i := range out {
+		if out[i].Op != stream[i].Op {
+			t.Errorf("instruction %d changed: %s", i, out[i].String())
+		}
+	}
+}
+
+// TestFuseNamedOutputsStayMaterialized: a named (non-temp) intermediate is
+// observable, so it ends one fused chain and leafs the next rather than
+// being eliminated.
+func TestFuseNamedOutputsStayMaterialized(t *testing.T) {
+	sh := ir.Shape{Rows: 8, Cols: 4}
+	stream := []Instruction{
+		ewInst("exp", "_t1", sh, []string{"X"}, []ir.Shape{sh}),
+		ewInst("sigmoid", "Z", sh, []string{"_t1"}, []ir.Shape{sh}),
+		ewInst("abs", "_t2", sh, []string{"Z"}, []ir.Shape{sh}),
+		ewInst("sqrt", "W", sh, []string{"_t2"}, []ir.Shape{sh}),
+	}
+	out := FuseElementwise(stream)
+	if len(out) != 2 {
+		t.Fatalf("fused stream has %d instructions, want 2 (Z must materialize): %v", len(out), out)
+	}
+	if out[0].Output() != "Z" || out[1].Output() != "W" {
+		t.Fatalf("outputs = %s, %s", out[0].Output(), out[1].Output())
+	}
+	if out[1].Inputs[0] != "Z" {
+		t.Errorf("second chain should read materialized Z, got %v", out[1].Inputs)
+	}
+}
+
+// TestFuseLeafRedefinitionBlocksExtension: an intervening write to a chain
+// leaf means the chain's deferred read would see the wrong value; the chain
+// must not extend past it.
+func TestFuseLeafRedefinitionBlocksExtension(t *testing.T) {
+	sh := ir.Shape{Rows: 8, Cols: 4}
+	redefX := Instruction{
+		Kind: KindOp, Op: "tsmm",
+		Inputs: []string{"Y"}, Outputs: []string{"X"},
+		Backend: core.BackendCP, Shape: sh, InShapes: []ir.Shape{sh},
+	}
+	stream := []Instruction{
+		ewInst("+", "_t1", sh, []string{"X", "Y"}, []ir.Shape{sh, sh}),
+		redefX,
+		ewInst("exp", "Z", sh, []string{"_t1"}, []ir.Shape{sh}),
+	}
+	out := FuseElementwise(stream)
+	if len(out) != 3 {
+		t.Fatalf("chain fused across a leaf redefinition: %v", out)
+	}
+}
+
+// TestFuseSkipsOtherBackendsAndAttrs: non-CP placement or semantic attrs
+// keep an instruction out of fusion entirely.
+func TestFuseSkipsOtherBackendsAndAttrs(t *testing.T) {
+	sh := ir.Shape{Rows: 8, Cols: 4}
+	sparkAdd := ewInst("+", "_t1", sh, []string{"X", "Y"}, []ir.Shape{sh, sh})
+	sparkAdd.Backend = core.BackendSpark
+	attrExp := ewInst("exp", "Z", sh, []string{"_t1"}, []ir.Shape{sh})
+	attrExp.Attrs = map[string]string{"skipLast": "1"}
+	out := FuseElementwise([]Instruction{sparkAdd, attrExp})
+	if len(out) != 2 || out[0].Op != "+" || out[1].Op != "exp" {
+		t.Fatalf("non-fusable instructions were rewritten: %v", out)
+	}
+	powOK := ewInst("pow", "_t2", sh, []string{"X"}, []ir.Shape{sh})
+	powOK.Attrs = map[string]string{"p": "3"}
+	sig := ewInst("sigmoid", "W", sh, []string{"_t2"}, []ir.Shape{sh})
+	out = FuseElementwise([]Instruction{powOK, sig})
+	if len(out) != 1 || out[0].Attr("prog") != "pow{p=3}($0);sigmoid(@0)" {
+		t.Fatalf("pow's p attr should fuse: %v", out)
+	}
+}
+
+func TestFusedOpList(t *testing.T) {
+	if got := FusedOpList("*($0,$1);pow{p=3}(@0);sigmoid(@1)"); got != "*;pow;sigmoid" {
+		t.Errorf("FusedOpList = %q", got)
+	}
+}

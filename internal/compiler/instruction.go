@@ -94,8 +94,14 @@ func (in *Instruction) Output() string {
 }
 
 // String renders the instruction in SystemDS's "BACKEND op outputs <- inputs"
-// style for debugging and tests.
+// style for debugging and tests. Fused instructions render their
+// constituent op list so trace dumps and profile diffs stay readable.
 func (in *Instruction) String() string {
+	if in.Op == ir.FusedOp {
+		return fmt.Sprintf("%s fused[%s] %s <- %s", in.Backend,
+			FusedOpList(in.Attr("prog")),
+			strings.Join(in.Outputs, ","), strings.Join(in.Inputs, ","))
+	}
 	return fmt.Sprintf("%s %s %s <- %s", in.Backend, in.Op,
 		strings.Join(in.Outputs, ","), strings.Join(in.Inputs, ","))
 }

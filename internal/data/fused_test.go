@@ -1,0 +1,199 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func fusedEq(t *testing.T, got, want *Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s: cell %d = %v (%x), want %v (%x)", label, i,
+				got.Data[i], math.Float64bits(got.Data[i]),
+				want.Data[i], math.Float64bits(want.Data[i]))
+		}
+	}
+}
+
+func TestParseFusedValid(t *testing.T) {
+	fp, err := ParseFused("+($0,$1);exp(@0);sigmoid(@1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Steps) != 3 || fp.Leaves != 2 {
+		t.Fatalf("steps %d leaves %d", len(fp.Steps), fp.Leaves)
+	}
+	if got := fp.Ops(); len(got) != 3 || got[0] != "+" || got[2] != "sigmoid" {
+		t.Fatalf("ops %v", got)
+	}
+}
+
+func TestParseFusedPowDefault(t *testing.T) {
+	fp, err := ParseFused("pow($0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Steps[0].P != 2 {
+		t.Fatalf("pow default P = %v, want 2 (matching the kernel's attr default)", fp.Steps[0].P)
+	}
+	fp, err = ParseFused("pow{p=3}($0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Steps[0].P != 3 || fp.Steps[0].PStr != "3" {
+		t.Fatalf("pow P=%v PStr=%q", fp.Steps[0].P, fp.Steps[0].PStr)
+	}
+}
+
+func TestParseFusedRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"frobnicate($0)",
+		"+($0)",         // wrong arity
+		"exp($0,$1)",    // wrong arity
+		"+($0,@1)",      // forward step reference
+		"+($0,@0)",      // self reference
+		"exp(%0)",       // bad operand syntax
+		"+($0,$1);;",    // empty step
+		"+{p=2}($0,$1)", // attr on non-pow op
+	} {
+		if _, err := ParseFused(bad); err == nil {
+			t.Errorf("ParseFused(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEvalFusedMatchesKernels runs fused programs against the equivalent
+// kernel compositions: results must be bitwise identical, including the
+// broadcast variants the fast path handles via broadcastIndex.
+func TestEvalFusedMatchesKernels(t *testing.T) {
+	X := RandNorm(13, 7, 0, 1, 5)
+	Y := RandNorm(13, 7, 1, 2, 6)
+	R := RandNorm(1, 7, 0, 1, 7)
+	C := RandNorm(13, 1, 0, 1, 8)
+	S := RandNorm(1, 1, 0, 1, 9)
+
+	cases := []struct {
+		name   string
+		prog   string
+		leaves []*Matrix
+		want   func() *Matrix
+	}{
+		{"chain", "+($0,$1);exp(@0);sigmoid(@1)", []*Matrix{X, Y},
+			func() *Matrix { return Sigmoid(Exp(Add(X, Y))) }},
+		{"row-broadcast", "*($0,$1);relu(@0)", []*Matrix{X, R},
+			func() *Matrix { return ReLU(Mul(X, R)) }},
+		{"col-broadcast", "-($0,$1);abs(@0);sqrt(@1)", []*Matrix{X, C},
+			func() *Matrix { return Sqrt(Abs(Sub(X, C))) }},
+		{"scalar-broadcast", "/($0,$1);log(@0)", []*Matrix{X, S},
+			func() *Matrix { return Log(Div(X, S)) }},
+		{"swapped-args", "-($0,$1)", []*Matrix{R, X},
+			func() *Matrix { return Sub(R, X) }},
+		{"compare", ">($0,$1);min(@0,$0);max(@1,$1)", []*Matrix{X, Y},
+			func() *Matrix { return MaxElem(MinElem(Greater(X, Y), X), Y) }},
+		{"pow", "pow{p=3}($0);pow(@0)", []*Matrix{X},
+			func() *Matrix { return PowScalar(PowScalar(X, 3), 2) }},
+		{"diamond", "exp($0);log($0);+(@0,@1)", []*Matrix{X},
+			func() *Matrix { return Add(Exp(X), Log(X)) }},
+		// Non-uniform step shapes (vector intermediate) take the stepwise
+		// fallback; results must still match exactly.
+		{"vector-intermediate", "exp($1);*($0,@0)", []*Matrix{X, R},
+			func() *Matrix { return Mul(X, Exp(R)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fp, err := ParseFused(tc.prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fusedEq(t, EvalFused(fp, tc.leaves, nil), tc.want(), "no arena")
+			a := NewArena(1 << 20)
+			fusedEq(t, EvalFused(fp, tc.leaves, a), tc.want(), "arena")
+		})
+	}
+}
+
+// TestEvalFusedParallelismInvariant checks bitwise identity across kernel
+// fan-outs, with a matrix large enough that parallelFor actually shards.
+func TestEvalFusedParallelismInvariant(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	X := RandNorm(600, 500, 0, 1, 11)
+	R := RandNorm(1, 500, 0, 1, 12)
+	fp, err := ParseFused("*($0,$1);sigmoid(@0);+(@1,$0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(1)
+	want := EvalFused(fp, []*Matrix{X, R}, nil)
+	for _, par := range []int{4, 8} {
+		SetParallelism(par)
+		fusedEq(t, EvalFused(fp, []*Matrix{X, R}, nil), want, "parallel")
+	}
+}
+
+// TestEvalFusedArenaRecycles checks that repeated evaluations with an arena
+// reuse the same backing buffer once it is put back.
+func TestEvalFusedArenaRecycles(t *testing.T) {
+	X := RandNorm(32, 32, 0, 1, 3)
+	fp, err := ParseFused("exp($0);sigmoid(@0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArena(1 << 20)
+	out1 := EvalFused(fp, []*Matrix{X}, a)
+	a.Put(out1)
+	out2 := EvalFused(fp, []*Matrix{X}, a)
+	if out2 != out1 {
+		t.Errorf("second evaluation did not recycle the returned buffer")
+	}
+	_, reuses, _, _ := a.Stats()
+	if reuses != 1 {
+		t.Errorf("reuses = %d, want 1", reuses)
+	}
+}
+
+// BenchmarkFusedChain pins the tentpole allocation property: a fused
+// three-op chain with an arena allocates at most 2 allocations per
+// evaluation at steady state (the CI alloc gate enforces the ceiling).
+// Serial parallelism keeps the measurement free of shard-closure noise.
+func BenchmarkFusedChain(b *testing.B) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(1)
+	X := RandNorm(256, 256, 0, 1, 3)
+	Y := RandNorm(256, 256, 1, 2, 4)
+	fp, err := ParseFused("+($0,$1);exp(@0);sigmoid(@1)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaves := []*Matrix{X, Y}
+	a := NewArena(1 << 20)
+	out := EvalFused(fp, leaves, a) // warm the shape class
+	a.Put(out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = EvalFused(fp, leaves, a)
+		a.Put(out)
+	}
+}
+
+// BenchmarkUnfusedChain is the same computation through the ordinary
+// kernels — the before side of the fused/unfused allocation comparison.
+func BenchmarkUnfusedChain(b *testing.B) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(1)
+	X := RandNorm(256, 256, 0, 1, 3)
+	Y := RandNorm(256, 256, 1, 2, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Sigmoid(Exp(Add(X, Y)))
+	}
+}

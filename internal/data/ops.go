@@ -34,9 +34,21 @@ func outShape(a, b *Matrix) (*Matrix, *Matrix) {
 
 // binary applies f cellwise with broadcasting, sharded over output rows.
 // When shapes are swapped the function arguments keep their original order.
+// The no-broadcast case takes a direct flat loop over the backing slices —
+// the per-cell At/Set index arithmetic and the broadcast dispatch are pure
+// overhead when both operands share the output shape.
 func binary(a, b *Matrix, f func(x, y float64) float64) *Matrix {
 	big, small := outShape(a, b)
 	out := New(big.Rows, big.Cols)
+	if a.Rows == b.Rows && a.Cols == b.Cols {
+		ad, bd, od := a.Data, b.Data, out.Data
+		parallelFor(len(od), float64(len(od)), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = f(ad[i], bd[i])
+			}
+		})
+		return out
+	}
 	swapped := big != a
 	parallelFor(big.Rows, float64(big.Cells()), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -102,18 +114,49 @@ func Map(a *Matrix, f func(float64) float64) *Matrix {
 	return out
 }
 
-// AddScalar returns a + s.
-func AddScalar(a *Matrix, s float64) *Matrix { return Map(a, func(x float64) float64 { return x + s }) }
+// AddScalar returns a + s via a direct loop (no per-element closure call).
+func AddScalar(a *Matrix, s float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	ad, od := a.Data, out.Data
+	parallelFor(len(od), float64(len(od)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] + s
+		}
+	})
+	return out
+}
 
-// MulScalar returns a * s.
-func MulScalar(a *Matrix, s float64) *Matrix { return Map(a, func(x float64) float64 { return x * s }) }
+// MulScalar returns a * s via a direct loop.
+func MulScalar(a *Matrix, s float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	ad, od := a.Data, out.Data
+	parallelFor(len(od), float64(len(od)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = ad[i] * s
+		}
+	})
+	return out
+}
 
-// PowScalar returns a^s elementwise.
+// PowScalar returns a^s elementwise. The s==2 case squares directly; both
+// branches run direct loops rather than per-element closures.
 func PowScalar(a *Matrix, s float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	ad, od := a.Data, out.Data
 	if s == 2 {
-		return Map(a, func(x float64) float64 { return x * x })
+		parallelFor(len(od), float64(len(od)), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = ad[i] * ad[i]
+			}
+		})
+		return out
 	}
-	return Map(a, func(x float64) float64 { return math.Pow(x, s) })
+	parallelFor(len(od), 10*float64(len(od)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = math.Pow(ad[i], s)
+		}
+	})
+	return out
 }
 
 // Exp returns e^a elementwise.

@@ -1,0 +1,128 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+// Benchmarks for the scalar-op and equal-shape binary fast paths. The
+// "legacy" variants reproduce the previous implementations (per-cell
+// closure through Map, and At/Set index arithmetic with broadcast dispatch
+// in binary), so the direct-loop speedup stays measurable in-tree.
+
+func benchMatrices(b *testing.B) (*Matrix, *Matrix) {
+	b.Helper()
+	prev := Parallelism()
+	b.Cleanup(func() { SetParallelism(prev) })
+	SetParallelism(1)
+	return RandNorm(512, 512, 0, 1, 3), RandNorm(512, 512, 1, 2, 4)
+}
+
+// legacyMapScalar is the old AddScalar/MulScalar shape: Map with a closure
+// capturing the scalar.
+func legacyMapScalar(a *Matrix, f func(float64) float64) *Matrix { return Map(a, f) }
+
+// legacyBinaryEqual is the old equal-shape binary path: per-cell At/Set
+// with the broadcast helper, as binary ran before the flat fast path.
+func legacyBinaryEqual(a, b *Matrix, f func(x, y float64) float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	parallelFor(a.Rows, float64(a.Cells()), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < a.Cols; j++ {
+				out.Set(i, j, f(a.At(i, j), broadcastIndex(a, b, i, j)))
+			}
+		}
+	})
+	return out
+}
+
+func BenchmarkAddScalarLegacy(b *testing.B) {
+	m, _ := benchMatrices(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = legacyMapScalar(m, func(x float64) float64 { return x + 1.5 })
+	}
+}
+
+func BenchmarkAddScalar(b *testing.B) {
+	m, _ := benchMatrices(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = AddScalar(m, 1.5)
+	}
+}
+
+func BenchmarkMulScalarLegacy(b *testing.B) {
+	m, _ := benchMatrices(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = legacyMapScalar(m, func(x float64) float64 { return x * 1.5 })
+	}
+}
+
+func BenchmarkMulScalar(b *testing.B) {
+	m, _ := benchMatrices(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MulScalar(m, 1.5)
+	}
+}
+
+func BenchmarkPowScalarSquareLegacy(b *testing.B) {
+	m, _ := benchMatrices(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = legacyMapScalar(m, func(x float64) float64 { return x * x })
+	}
+}
+
+func BenchmarkPowScalarSquare(b *testing.B) {
+	m, _ := benchMatrices(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = PowScalar(m, 2)
+	}
+}
+
+func BenchmarkBinaryEqualShapeLegacy(b *testing.B) {
+	m, n := benchMatrices(b)
+	add := func(x, y float64) float64 { return x + y }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = legacyBinaryEqual(m, n, add)
+	}
+}
+
+func BenchmarkBinaryEqualShape(b *testing.B) {
+	m, n := benchMatrices(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Add(m, n)
+	}
+}
+
+// TestScalarFastPathsMatchLegacy pins the fast paths to the legacy
+// implementations bitwise, including the broadcast-path equivalence of the
+// equal-shape shortcut.
+func TestScalarFastPathsMatchLegacy(t *testing.T) {
+	m := RandNorm(33, 17, 0, 1, 5)
+	n := RandNorm(33, 17, 1, 2, 6)
+	pairs := []struct {
+		name     string
+		got, ref *Matrix
+	}{
+		{"add-scalar", AddScalar(m, 1.5), legacyMapScalar(m, func(x float64) float64 { return x + 1.5 })},
+		{"mul-scalar", MulScalar(m, -2.5), legacyMapScalar(m, func(x float64) float64 { return x * -2.5 })},
+		{"pow-square", PowScalar(m, 2), legacyMapScalar(m, func(x float64) float64 { return x * x })},
+		{"pow-general", PowScalar(m, 3.5), legacyMapScalar(m, func(x float64) float64 { return math.Pow(x, 3.5) })},
+		{"binary-equal", Add(m, n), legacyBinaryEqual(m, n, func(x, y float64) float64 { return x + y })},
+	}
+	for _, p := range pairs {
+		for i := range p.ref.Data {
+			if math.Float64bits(p.got.Data[i]) != math.Float64bits(p.ref.Data[i]) {
+				t.Errorf("%s: cell %d = %v, want %v", p.name, i, p.got.Data[i], p.ref.Data[i])
+				break
+			}
+		}
+	}
+}

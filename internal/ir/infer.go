@@ -42,6 +42,16 @@ func Infer(n *Node, env map[string]Shape) Shape {
 			return a
 		}
 		return b
+	case FusedOp:
+		// A fused elementwise chain has the broadcast-maximal input shape,
+		// the same rule applied transitively over its constituent steps.
+		best := sh(0)
+		for i := 1; i < len(n.Inputs); i++ {
+			if b := sh(i); b.Rows*b.Cols > best.Rows*best.Cols {
+				best = b
+			}
+		}
+		return best
 	case "exp", "log", "sqrt", "abs", "sigmoid", "relu", "softmax", "pow",
 		"imputeMean", "imputeMode", "outlierIQR", "scale", "minmax",
 		"recode", "bin", "replaceNaN", "dropout":

@@ -47,6 +47,10 @@ type Config struct {
 	Window int
 	// DisableRewrites keeps the stream untouched (liveness + hints only).
 	DisableRewrites bool
+	// EagerFrees inserts last-use frees even without a budget. The runtime
+	// sets it when a buffer arena is attached: every planner free point is
+	// an arena recycling opportunity, budget or not.
+	EagerFrees bool
 }
 
 // DefaultWindow is the soon-reuse protection window when Config.Window

@@ -106,6 +106,18 @@ type Config struct {
 	// Runs with the same plan replay bitwise-identically.
 	Faults *faults.Plan
 
+	// Arena enables the shape-keyed host buffer arena: fused-instruction
+	// outputs draw recycled buffers from it, and the planner's KindFree
+	// points (plus block-end temp clearing) return dead buffers to it.
+	// The arena registers with the memory arbiter as its own pool, so
+	// cross-backend pressure trims its free lists. Results are
+	// bitwise-identical with the arena on or off.
+	Arena bool
+
+	// ArenaBudget caps the arena's retained free bytes (0 uses
+	// data.DefaultArenaBudget).
+	ArenaBudget int64
+
 	// MemPlan, when non-nil, enables the compile-time memory planner
 	// (internal/memplan): every compiled stream is analyzed for liveness,
 	// lifetime hints are stamped onto cache entries, and budget-bounding
@@ -197,6 +209,11 @@ type Context struct {
 	planRecs   map[uint64]*planRecord
 	planOrder  []uint64
 
+	// arena is the optional pooled buffer arena (Config.Arena); fusedProgs
+	// memoizes parsed fused-instruction step programs by encoding.
+	arena      *data.Arena
+	fusedProgs map[string]*data.FusedProgram
+
 	closed bool
 
 	Stats Stats
@@ -238,6 +255,14 @@ func New(conf Config) *Context {
 	if ctx.GM != nil {
 		ctx.Arb.Register(ctx.GM.MemPool(ctx.demoteGPUToHost))
 		ctx.GM.SetHostEvictor(ctx.evictGPUToHost)
+	}
+	if conf.Arena {
+		budget := conf.ArenaBudget
+		if budget <= 0 {
+			budget = data.DefaultArenaBudget
+		}
+		ctx.arena = data.NewArena(budget)
+		ctx.Arb.Register(arenaPool{ctx.arena})
 	}
 	if conf.MemPlan != nil {
 		ctx.planWindow = conf.MemPlan.Window
@@ -335,10 +360,14 @@ func (ctx *Context) removeVar(name string) {
 func (ctx *Context) clearTemps() {
 	for name := range ctx.vars {
 		if strings.HasPrefix(name, "_t") {
+			ctx.recycleValue(name, ctx.vars[name])
 			ctx.removeVar(name)
 		}
 	}
 }
+
+// Arena exposes the session's buffer arena (nil without Config.Arena).
+func (ctx *Context) Arena() *data.Arena { return ctx.arena }
 
 // shapes snapshots variable shapes for dynamic recompilation.
 func (ctx *Context) shapes() map[string]ir.Shape {

@@ -9,6 +9,7 @@ import (
 	"memphis/internal/core"
 	"memphis/internal/costs"
 	"memphis/internal/data"
+	"memphis/internal/ir"
 	"memphis/internal/lineage"
 	"memphis/internal/spark"
 	"memphis/internal/vtime"
@@ -149,8 +150,12 @@ func lineageData(inst *compiler.Instruction) string {
 }
 
 // trace records the instruction in the lineage map (TRACE of the unified
-// API) and returns the new item.
+// API) and returns the new item. Fused instructions replay their
+// constituent ops so reuse keys are identical with fusion on or off.
 func (ctx *Context) trace(inst *compiler.Instruction) *lineage.Item {
+	if inst.Op == ir.FusedOp {
+		return ctx.traceFused(inst)
+	}
 	ctx.Clock.Advance(ctx.Model.Trace)
 	var inputs []string
 	for _, in := range inst.Inputs {
@@ -286,6 +291,11 @@ func (ctx *Context) putValue(inst *compiler.Instruction, li *lineage.Item, v *Va
 		e := ctx.Cache.PutGPU(li, v.GPU, cost, ctx.delay())
 		ctx.stampPlan(e, inst.Output())
 	case v.M != nil:
+		if ctx.arena != nil {
+			// The cache retains the matrix beyond the binding's lifetime:
+			// the buffer must never return to the arena free lists.
+			ctx.arena.Escape(v.M)
+		}
 		cost := costs.Compute(inst.Flops, ctx.Model.CPUFlops)
 		e := ctx.Cache.PutCP(li, v.M, cost, ctx.delay(), false, false)
 		ctx.stampPlan(e, inst.Output())

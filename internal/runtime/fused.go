@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"memphis/internal/compiler"
+	"memphis/internal/data"
+	"memphis/internal/lineage"
+	"memphis/internal/memctl"
+)
+
+// Fused-instruction execution and lineage. A fused instruction is a chain
+// of elementwise constituents collapsed by the compiler (internal/compiler
+// FuseElementwise); the runtime executes it as one loop via the data-layer
+// fused interpreter, drawing the output buffer from the session arena when
+// one is configured. Lineage is the part that must NOT be fused: the
+// constituent ops are replayed one by one into lineage items, so the final
+// output's reuse key is identical to what unfused execution would produce —
+// a cache populated with fusion off hits with fusion on and vice versa.
+
+// fusedProgram parses (and memoizes) a fused instruction's step program.
+// The driver loop is single-threaded per session, so the memo needs no lock
+// and parsed programs can reuse their internal scratch across executions.
+func (ctx *Context) fusedProgram(inst *compiler.Instruction) (*data.FusedProgram, error) {
+	prog := inst.Attr("prog")
+	if fp, ok := ctx.fusedProgs[prog]; ok {
+		return fp, nil
+	}
+	fp, err := data.ParseFused(prog)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.fusedProgs == nil {
+		ctx.fusedProgs = make(map[string]*data.FusedProgram)
+	}
+	ctx.fusedProgs[prog] = fp
+	return fp, nil
+}
+
+// evalFused executes a fused instruction's chain over its leaf operands.
+func (ctx *Context) evalFused(inst *compiler.Instruction) (*data.Matrix, error) {
+	fp, err := ctx.fusedProgram(inst)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %s: %w", inst, err)
+	}
+	leaves := make([]*data.Matrix, len(inst.Inputs))
+	for i := range inst.Inputs {
+		m, err := ctx.hostIn(inst, i)
+		if err != nil {
+			return nil, err
+		}
+		leaves[i] = m
+	}
+	return data.EvalFused(fp, leaves, ctx.arena), nil
+}
+
+// traceFused replays the constituent ops of a fused instruction through the
+// lineage map, charging the trace cost per constituent. Each step's item is
+// built exactly as the unfused instruction's trace would build it (same
+// opcode, same sorted attr + positional-literal data encoding, same input
+// items), so the final key is stable across fusion on/off.
+func (ctx *Context) traceFused(inst *compiler.Instruction) *lineage.Item {
+	fp, err := ctx.fusedProgram(inst)
+	if err != nil {
+		// Unparseable program: fall back to a generic trace of the fused
+		// instruction itself (still deterministic, just fusion-specific).
+		ctx.Clock.Advance(ctx.Model.Trace)
+		var inputs []string
+		for _, in := range inst.Inputs {
+			if !compiler.IsLiteral(in) {
+				inputs = append(inputs, in)
+			}
+		}
+		return ctx.LMap.Trace(inst.Output(), inst.Op, lineageData(inst), inputs...)
+	}
+	items := make([]*lineage.Item, len(fp.Steps))
+	for k := range fp.Steps {
+		st := &fp.Steps[k]
+		ctx.Clock.Advance(ctx.Model.Trace)
+		var parts []string
+		if st.PStr != "" {
+			parts = append(parts, "p="+st.PStr)
+		}
+		var inputs []*lineage.Item
+		for ai, a := range st.Args {
+			if a.Leaf >= 0 {
+				name := inst.Inputs[a.Leaf]
+				if compiler.IsLiteral(name) {
+					parts = append(parts, fmt.Sprintf("in%d=%s", ai, compiler.LiteralValue(name)))
+					continue
+				}
+				inputs = append(inputs, ctx.LMap.GetOrLeaf(name))
+				continue
+			}
+			inputs = append(inputs, items[a.Step])
+		}
+		items[k] = lineage.NewItem(st.Op, strings.Join(parts, ";"), inputs...)
+	}
+	final := items[len(items)-1]
+	ctx.LMap.TraceItem(inst.Output(), final)
+	return final
+}
+
+// recycleValue returns a host matrix to the arena at a free point (planner
+// KindFree or block-end clearTemps) when it is safe: the buffer must still
+// be arena-owned (never escaped into a cache) and no other binding may
+// alias it. name is the binding being released.
+func (ctx *Context) recycleValue(name string, v *Value) {
+	if ctx.arena == nil || v == nil || v.M == nil {
+		return
+	}
+	if !ctx.arena.Vended(v.M) {
+		return
+	}
+	for n, o := range ctx.vars {
+		if n == name || o == nil {
+			continue
+		}
+		if o == v || o.M == v.M {
+			return
+		}
+	}
+	ctx.arena.Put(v.M)
+}
+
+// arenaPool adapts data.Arena to the memctl.Pool interface (data stays
+// free of memctl imports). Victims are the idle shape classes in trim
+// order; scores rise with position so the largest class is cheapest to
+// lose, matching Evict's deterministic largest-first order.
+type arenaPool struct{ a *data.Arena }
+
+func (p arenaPool) Name() string            { return p.a.Name() }
+func (p arenaPool) Used() int64             { return p.a.Used() }
+func (p arenaPool) Budget() int64           { return p.a.Budget() }
+func (p arenaPool) Peak() int64             { return p.a.Peak() }
+func (p arenaPool) Evict(need int64) int64  { return p.a.Evict(need) }
+func (p arenaPool) Demote(need int64) int64 { return p.a.Demote(need) }
+
+func (p arenaPool) Victims(max int) []memctl.Victim {
+	classes := p.a.FreeClasses(max)
+	out := make([]memctl.Victim, 0, len(classes))
+	for i, c := range classes {
+		out = append(out, memctl.Victim{
+			Candidate: memctl.Candidate{
+				Size:     c.Bytes,
+				Lifetime: memctl.LifeDead, // idle buffers hold no values
+			},
+			Score: float64(i),
+		})
+	}
+	return out
+}

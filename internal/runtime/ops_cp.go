@@ -9,6 +9,7 @@ import (
 	"memphis/internal/costs"
 	"memphis/internal/data"
 	"memphis/internal/gpu"
+	"memphis/internal/ir"
 )
 
 // execOp dispatches an instruction to its backend. A GPU instruction that
@@ -193,6 +194,8 @@ func (ctx *Context) evalCP(inst *compiler.Instruction) (*data.Matrix, error) {
 			return nil, err
 		}
 		return data.Solve(a, b), nil
+	case ir.FusedOp:
+		return ctx.evalFused(inst)
 	case "+", "-", "*", "/", "min", "max", ">", "<":
 		a, err := in(0)
 		if err != nil {

@@ -159,7 +159,8 @@ func (ctx *Context) skipCache(name string) bool {
 // exactly as clearTemps would at block end, just at its last-use point.
 func (ctx *Context) execFree(inst *compiler.Instruction) error {
 	name := inst.Inputs[0]
-	if _, ok := ctx.vars[name]; ok {
+	if v, ok := ctx.vars[name]; ok {
+		ctx.recycleValue(name, v)
 		ctx.removeVar(name)
 		ctx.Stats.EarlyFrees++
 	}

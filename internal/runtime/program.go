@@ -332,6 +332,9 @@ func (ctx *Context) execCall(inst *compiler.Instruction) error {
 			case v.RDD != nil && v.M == nil:
 				e = ctx.Cache.PutRDD(outKeys[i], v.RDD, v.children, v.bcasts, cost, 1, ctx.storageLevel)
 			case v.M != nil:
+				if ctx.arena != nil {
+					ctx.arena.Escape(v.M)
+				}
 				e = ctx.Cache.PutCP(outKeys[i], v.M, cost, 1, false, true)
 				ctx.sharePublish(outKeys[i], v.M, cost)
 			case v.HasGPU():

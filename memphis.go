@@ -108,6 +108,21 @@ type Options struct {
 	//     locally up to OpMemBudget bytes could never be checkpointed).
 	MemoryBudgets MemoryBudgets
 
+	// Fusion enables the compile-time elementwise fusion pass: maximal
+	// chains of elementwise/unary/scalar operators compile to single fused
+	// instructions executed as one loop with zero intermediate matrices.
+	// Lineage keys are unchanged (the runtime replays constituent ops while
+	// tracing), so cache contents interoperate across fusion on/off, and
+	// results are bitwise-identical at any parallelism.
+	Fusion bool
+
+	// Arena enables the shape-keyed host buffer arena: fused outputs draw
+	// recycled buffers, dead temporaries return theirs at planner free
+	// points, and the arena registers with the memory arbiter as its own
+	// pool (evicting = trimming idle shape classes). MemoryBudgets.Arena
+	// caps retained free bytes. Results are bitwise-identical on/off.
+	Arena bool
+
 	// MemoryPlanner enables the compile-time memory planner
 	// (internal/memplan): static liveness and peak-memory profiles per
 	// compiled stream, lifetime hints for the arbiter's victim selection,
@@ -127,6 +142,7 @@ type MemoryBudgets struct {
 	SparkReuse int64 // reuse share of cluster storage (default 48 MB)
 	Spark      int64 // cluster storage region (default 64 MB)
 	GPU        int64 // device capacity, when EnableGPU is set (default 48 MB)
+	Arena      int64 // buffer-arena retained free bytes, when Arena is set (default 8 MB)
 }
 
 // FaultPlan is a replayable fault scenario (see internal/faults): a seed plus
@@ -220,9 +236,15 @@ func runtimeConfig(opts Options) runtime.Config {
 			pol = gpu.PolicyMemphis
 		}
 	}
+	comp.Fusion = opts.Fusion
 	var plan *memplan.Config
 	if opts.MemoryPlanner {
 		plan = &memplan.Config{Budget: cache.CPBudget}
+		if opts.Arena {
+			// Every planner free point is an arena recycling opportunity,
+			// so frees are worth inserting even when the profile fits.
+			plan.EagerFrees = true
+		}
 	}
 	return runtime.Config{
 		Mode:        mode,
@@ -234,6 +256,8 @@ func runtimeConfig(opts Options) runtime.Config {
 		Parallelism: opts.Parallelism,
 		Faults:      opts.FaultPlan,
 		MemPlan:     plan,
+		Arena:       opts.Arena,
+		ArenaBudget: opts.MemoryBudgets.Arena,
 	}
 }
 
@@ -335,9 +359,20 @@ func (s *Session) Stats() Stats {
 // MemoryStats returns the per-pool pressure/demotion counters of the
 // session's memory arbiter, in fixed registration order: the driver cache
 // ("cp"), the reuse share of cluster storage ("spark-reuse"), the cluster
-// storage region ("spark"), and — when the GPU is enabled — the device
-// pool ("gpu").
+// storage region ("spark"), the device pool ("gpu") when EnableGPU is set,
+// and the buffer arena ("arena") when Arena is set.
 func (s *Session) MemoryStats() []PoolStats { return s.ctx.Arb.Snapshot() }
+
+// ArenaStats reports the buffer arena's allocation counters: total Gets,
+// Gets satisfied from the free lists, Puts, and buffers that escaped into
+// the lineage cache. All zero unless Options.Arena is set.
+func (s *Session) ArenaStats() (gets, reuses, puts, escapes int64) {
+	a := s.ctx.Arena()
+	if a == nil {
+		return 0, 0, 0, 0
+	}
+	return a.Stats()
+}
 
 // CacheStats returns the lineage cache statistics (hits per backend,
 // evictions, spills, lazy GC activity).
