@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+	"memphis/internal/spark"
+)
+
+// Static-vs-adaptive A/B of the closed-loop cost model (memphis-bench
+// -adaptive). Each case runs the same crossover microbenchmark twice — once
+// with static threshold placement, once with Options.AdaptivePlacement —
+// and reports the virtual-time delta, the calibration epochs reached, and
+// the per-backend executed-operator counts, which show placements moving
+// between backends as observed reuse accumulates.
+//
+// Everything reported is virtual: no wall-clock field appears in the JSON,
+// so two runs of the same binary byte-compare equal (the CI determinism
+// gate relies on this).
+
+// AdaptiveRow is one workload's A/B result.
+type AdaptiveRow struct {
+	Workload string `json:"workload"`
+
+	StaticVSeconds   float64 `json:"static_virtual_seconds"`
+	AdaptiveVSeconds float64 `json:"adaptive_virtual_seconds"`
+	DeltaVSeconds    float64 `json:"delta_virtual_seconds"` // static - adaptive (positive = adaptive faster)
+
+	Epochs         uint64 `json:"calibration_epochs"`
+	Recalibrations int64  `json:"recalibrations"`
+
+	// Executed operators per backend under each policy, and the adaptive
+	// run's cache probes per backend. A reuse-driven placement flip shows
+	// up as probes recorded under more than one backend for the same
+	// operator: the op was probed where the evolving expected-cost argmin
+	// placed it, before and after the crossover.
+	StaticOps      BackendOps `json:"static_ops"`
+	AdaptiveOps    BackendOps `json:"adaptive_ops"`
+	AdaptiveProbes BackendOps `json:"adaptive_probes"`
+	// Flipped reports that adaptive placement diverged from static: the
+	// executed-op counts moved between backends, or some operator's probes
+	// span multiple backends (a mid-run reuse-driven flip).
+	Flipped bool `json:"flipped"`
+}
+
+// BackendOps counts executed operator instructions per backend.
+type BackendOps struct {
+	CP    int64 `json:"cp"`
+	Spark int64 `json:"spark"`
+	GPU   int64 `json:"gpu"`
+}
+
+// adaptiveBenchModel is the crossover-scaled cost model the A/B runs
+// under: the paper-scale constants with driver throughput scaled down
+// 1000x, matching the simulator's 1/1000-scale input sizes, so the
+// CP/Spark break-even lands inside the microbenchmark sweep instead of
+// orders of magnitude above it.
+func adaptiveBenchModel() *costs.Model {
+	m := *costs.Default()
+	m.CPUFlops /= 1000
+	return &m
+}
+
+// adaptiveCase is one crossover microbenchmark.
+type adaptiveCase struct {
+	name string
+	rows int
+	cols int
+	// loopDep makes the loop body recompute a fresh input every iteration
+	// (Xi = X * i), so the operator executes — rather than probes — each
+	// time and placement differences show up as virtual-time deltas.
+	// Without it, the loop recomputes the same tsmm and every iteration
+	// after the first is a cache hit: the reuse probability climbs to one
+	// and placement flips on pure reuse evidence.
+	loopDep bool
+	iters   int
+}
+
+// adaptiveCases are the crossover microbenchmarks:
+//
+//   - gray-window: a loop-dependent tsmm whose input (1 MB) sits just above
+//     the static OpMemBudget threshold. Static placement ships it to Spark
+//     every iteration and pays the job overhead; the expected-cost query
+//     keeps it on CP, where the raw compute is genuinely cheaper. The
+//     virtual-time delta is the per-iteration Spark tax.
+//   - reuse-flip: a loop-invariant tsmm above the break-even (Spark wins on
+//     raw cost). From iteration two on, every probe hits; once the observed
+//     reuse probability quantizes to one, the expected cost collapses to
+//     the hit-service cost and placement flips Spark -> CP — visible as
+//     probes recorded under both backends.
+func adaptiveCases(quick bool) []adaptiveCase {
+	iters := 32
+	if quick {
+		iters = 20
+	}
+	return []adaptiveCase{
+		{"gray-window", 9000, 16, true, iters},
+		{"reuse-flip", 20000, 16, false, iters},
+	}
+}
+
+func adaptiveProg(c adaptiveCase) (*ir.Program, *data.Matrix) {
+	src := ir.Var("X")
+	if c.loopDep {
+		src = ir.Mul(ir.Var("X"), ir.Var("i"))
+	}
+	body := ir.BB(
+		ir.Assign("g", ir.TSMM(src)),
+		ir.Assign("s", ir.Sum(ir.Var("g"))),
+	)
+	prog := ir.NewProgram()
+	prog.Main = []ir.Block{ir.ForRange("i", c.iters, body)}
+	return prog, data.RandNorm(c.rows, c.cols, 0, 1, 7)
+}
+
+func runAdaptiveCase(c adaptiveCase, adaptive bool) (*runtime.Context, error) {
+	ctx := runtime.New(runtime.Config{
+		Mode:     runtime.ReuseMemphis,
+		Compiler: compiler.DefaultConfig(),
+		Cache:    core.DefaultConfig(),
+		Spark:    spark.DefaultConfig(),
+		Model:    adaptiveBenchModel(),
+		Adaptive: adaptive,
+	})
+	prog, x := adaptiveProg(c)
+	ctx.BindHost("X", x)
+	if err := ctx.RunProgram(prog); err != nil {
+		ctx.Close()
+		return nil, err
+	}
+	return ctx, nil
+}
+
+func backendOps(ctx *runtime.Context) BackendOps {
+	return BackendOps{CP: ctx.Stats.CPInsts, Spark: ctx.Stats.SPInsts, GPU: ctx.Stats.GPUInsts}
+}
+
+// probeStats aggregates the adaptive run's cache probes per backend and
+// reports whether any single operator was probed under more than one
+// backend (the signature of a mid-run placement flip).
+func probeStats(ctx *runtime.Context) (BackendOps, bool) {
+	var p BackendOps
+	multi := false
+	byOp := make(map[string]map[int]bool)
+	for _, r := range ctx.ReuseSnapshot() {
+		switch r.Backend {
+		case 0:
+			p.CP += r.Probes
+		case 1:
+			p.Spark += r.Probes
+		case 2:
+			p.GPU += r.Probes
+		}
+		if byOp[r.Op] == nil {
+			byOp[r.Op] = make(map[int]bool)
+		}
+		byOp[r.Op][r.Backend] = true
+		if len(byOp[r.Op]) > 1 {
+			multi = true
+		}
+	}
+	return p, multi
+}
+
+// AdaptiveReport runs the static-vs-adaptive A/B and returns one row per
+// crossover case.
+func AdaptiveReport(quick bool) ([]AdaptiveRow, error) {
+	var out []AdaptiveRow
+	for _, c := range adaptiveCases(quick) {
+		st, err := runAdaptiveCase(c, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s static: %w", c.name, err)
+		}
+		ad, err := runAdaptiveCase(c, true)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("%s adaptive: %w", c.name, err)
+		}
+		row := AdaptiveRow{
+			Workload:         c.name,
+			StaticVSeconds:   st.Clock.Now(),
+			AdaptiveVSeconds: ad.Clock.Now(),
+			DeltaVSeconds:    st.Clock.Now() - ad.Clock.Now(),
+			Recalibrations:   ad.Stats.Recalibrations,
+			StaticOps:        backendOps(st),
+			AdaptiveOps:      backendOps(ad),
+		}
+		if rep := ad.CalibrationReport(); rep != nil {
+			row.Epochs = rep.Epoch
+		}
+		probes, multi := probeStats(ad)
+		row.AdaptiveProbes = probes
+		row.Flipped = row.StaticOps != row.AdaptiveOps || multi
+		st.Close()
+		ad.Close()
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// MarshalAdaptive renders the A/B rows as deterministic indented JSON.
+func MarshalAdaptive(rows []AdaptiveRow) ([]byte, error) {
+	return json.MarshalIndent(rows, "", "  ")
+}
+
+// AdaptiveTable renders the A/B rows as a fixed-width text table.
+func AdaptiveTable(rows []AdaptiveRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %14s %14s %12s %7s %7s %18s %18s %18s %8s\n",
+		"workload", "static(vs)", "adaptive(vs)", "delta(vs)", "epochs", "recal",
+		"static ops", "adaptive ops", "probes", "flipped")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %14.6f %14.6f %12.6f %7d %7d %18s %18s %18s %8t\n",
+			r.Workload, r.StaticVSeconds, r.AdaptiveVSeconds, r.DeltaVSeconds,
+			r.Epochs, r.Recalibrations,
+			fmt.Sprintf("%d/%d/%d", r.StaticOps.CP, r.StaticOps.Spark, r.StaticOps.GPU),
+			fmt.Sprintf("%d/%d/%d", r.AdaptiveOps.CP, r.AdaptiveOps.Spark, r.AdaptiveOps.GPU),
+			fmt.Sprintf("%d/%d/%d", r.AdaptiveProbes.CP, r.AdaptiveProbes.Spark, r.AdaptiveProbes.GPU),
+			r.Flipped)
+	}
+	b.WriteString("(ops = executed operators cp/spark/gpu; probes = adaptive run's cache probes cp/spark/gpu;\n" +
+		" all quantities virtual and byte-stable across runs)\n")
+	return b.String()
+}

@@ -1,0 +1,115 @@
+// Adaptive (closed-loop) operator placement: instead of the static
+// OpMemBudget/GPUMinCells thresholds, each candidate backend is priced
+// under the injected costs.Estimator — recalibrated effective rates plus
+// the observed reuse probability of the (op, shape-class) population —
+// and the cheapest expected cost wins:
+//
+//	E[b] = p(hit) * hitCost_b + (1 - p(hit)) * (compute_b + transfer_b + overhead_b)
+//
+// A consistently cached operator (p -> 1) therefore collapses to its
+// hit-service cost, which is cheapest on CP (one probe); on Spark a hit
+// yields an RDD handle whose local consumption costs a further cached
+// collect probe. That is the paper's holistic-reuse placement argument:
+// hot cached operators stay on CP instead of bouncing to remote backends.
+//
+// Determinism: candidates are evaluated in the fixed order CP, GPU, Spark
+// with strict-less replacement, so ties break toward CP and equal
+// estimator states always produce equal placements.
+package compiler
+
+import (
+	"fmt"
+
+	"memphis/internal/core"
+	"memphis/internal/costs"
+	"memphis/internal/ir"
+)
+
+// adaptiveMemSlack bounds how far adaptive placement may keep an
+// over-budget operator local: operators whose input or output estimate
+// exceeds slack * OpMemBudget are Spark-forced exactly like the static
+// path (adaptive mode rebalances cost, not memory safety), while sizes in
+// (OpMemBudget, slack*OpMemBudget] may stay on CP under high observed
+// reuse — the reuse-driven crossover flip.
+const adaptiveMemSlack = 4
+
+// adaptivePlacement prices CP, GPU, and Spark for a node under the
+// injected estimator and returns the backend with the lowest expected
+// cost. Support maps gate candidates exactly as in static placement, so
+// no operator lands on a backend that cannot execute it.
+func (bc *blockCompiler) adaptivePlacement(n *ir.Node) core.Backend {
+	est := bc.conf.Estimator
+	eff := est.Effective()
+	out := bc.shapeOf(n)
+	maxBytes := out.Bytes()
+	var inBytes int64
+	gpuLocal := false
+	inShapes := make([]ir.Shape, len(n.Inputs))
+	for i, in := range n.Inputs {
+		inShapes[i] = bc.shapeOf(in)
+		b := inShapes[i].Bytes()
+		inBytes += b
+		if b > maxBytes {
+			maxBytes = b
+		}
+		if in.Op == "var" || in.Op == "lit" {
+			continue
+		}
+		if bc.placement(in) == core.BackendGPU {
+			gpuLocal = true
+		}
+	}
+	if maxBytes > adaptiveMemSlack*bc.conf.OpMemBudget && spSupported[n.Op] {
+		return core.BackendSpark
+	}
+	flops := flopsOf(n, inShapes, out)
+	p := est.ReuseProb(n.Op, costs.ShapeClass(int64(out.Rows)*int64(out.Cols)))
+
+	best := core.BackendCP
+	bestCost := expectedCost(p, eff.Probe,
+		eff.Interpret+costs.Compute(flops, eff.CPUFlops))
+	if bc.conf.GPUEnabled && gpuSupported[n.Op] {
+		raw := costs.Compute(flops, eff.GPUFlops) + eff.CudaMalloc + eff.KernelLaunch
+		if !gpuLocal {
+			// Inputs live on the host: charge the upload. GPU-local chains
+			// inherit device residency, like the static gpuLocal rule.
+			raw += costs.Transfer(inBytes, eff.H2DBW, eff.CopyLatency)
+		}
+		if c := expectedCost(p, eff.Probe, raw); c < bestCost {
+			best, bestCost = core.BackendGPU, c
+		}
+	}
+	if spSupported[n.Op] {
+		raw := costs.Compute(flops, eff.SparkFlops) +
+			eff.SparkJobOverhead + eff.SparkStageOverhead +
+			costs.Transfer(out.Bytes(), eff.CollectBW, 0)
+		// A Spark-placed hit returns an RDD handle; consuming it locally
+		// costs a second (cached-collect) probe.
+		if c := expectedCost(p, 2*eff.Probe, raw); c < bestCost {
+			best = core.BackendSpark
+		}
+	}
+	return best
+}
+
+// expectedCost folds the reuse probability: p of the time the lineage
+// cache serves the result for hitCost, otherwise the raw execution runs.
+func expectedCost(p, hitCost, raw float64) float64 {
+	return p*hitCost + (1-p)*raw
+}
+
+// Fold renders the config as a deterministic compile-cache key component.
+// Every placement-relevant field appears; when an estimator is injected
+// its calibration epoch and fingerprint join the fold, so recalibration
+// invalidates cached plans instead of silently serving stale placements.
+// (The struct cannot be %+v-printed once it carries an interface: pointer
+// text would poison keys across processes.)
+func (c Config) Fold() string {
+	s := fmt.Sprintf("opmem=%d,gpu=%t,gpumin=%d,async=%t,maxpar=%t,chk=%t,fuse=%t",
+		c.OpMemBudget, c.GPUEnabled, c.GPUMinCells, c.Async, c.MaxParallelize,
+		c.CheckpointInjection, c.Fusion)
+	if c.Estimator != nil {
+		s += fmt.Sprintf(",cal=%d:%016x", c.Estimator.Epoch(), c.Estimator.Fingerprint())
+	}
+	return s
+}

@@ -1,0 +1,257 @@
+package compiler
+
+import (
+	"testing"
+
+	"memphis/internal/core"
+	"memphis/internal/costs"
+	"memphis/internal/ir"
+)
+
+// stubEstimator is a frozen costs.Estimator: fixed effective model, fixed
+// per-op reuse probability, fixed epoch. It lets placement tests dial the
+// closed loop to an exact state.
+type stubEstimator struct {
+	m     *costs.Model
+	p     map[string]float64
+	epoch uint64
+}
+
+func (s *stubEstimator) Effective() *costs.Model                { return s.m }
+func (s *stubEstimator) ReuseProb(op string, class int) float64 { return s.p[op] }
+func (s *stubEstimator) Epoch() uint64                          { return s.epoch }
+func (s *stubEstimator) Fingerprint() uint64                    { return s.epoch * 0x9e3779b97f4a7c15 }
+
+func TestDefaultConfigDerivedFromCostModel(t *testing.T) {
+	// The historic hard-coded thresholds (1 MB, 4096 cells) must fall out
+	// of the default cost model exactly, so pinned baselines see the same
+	// static placement as before the derivation.
+	conf := DefaultConfig()
+	if conf.OpMemBudget != 1<<20 {
+		t.Fatalf("derived OpMemBudget = %d, want %d", conf.OpMemBudget, 1<<20)
+	}
+	if conf.GPUMinCells != 4096 {
+		t.Fatalf("derived GPUMinCells = %d, want 4096", conf.GPUMinCells)
+	}
+}
+
+func TestDerivedThresholdsReproduceStaticPlacement(t *testing.T) {
+	// Every placement decision under the derived DefaultConfig must match
+	// the legacy literal thresholds across representative blocks spanning
+	// the CP/Spark and CP/GPU boundaries.
+	legacy := Config{OpMemBudget: 1 << 20, GPUMinCells: 4096}
+	derived := DefaultConfig()
+	cases := []struct {
+		name string
+		env  map[string]ir.Shape
+		bb   *ir.BasicBlock
+		gpu  bool
+	}{
+		{"small-local", shapes("a", ir.Shape{Rows: 8, Cols: 8}),
+			ir.BB(ir.Assign("b", ir.Add(ir.Var("a"), ir.Lit(1)))), false},
+		{"large-spark", shapes("X", ir.Shape{Rows: 100000, Cols: 100}),
+			ir.BB(ir.Assign("g", ir.TSMM(ir.Var("X")))), false},
+		{"boundary-spark", shapes("X", ir.Shape{Rows: (1 << 17) + 1, Cols: 1}),
+			ir.BB(ir.Assign("g", ir.ColSums(ir.Var("X")))), false},
+		{"gpu-chain", shapes("X", ir.Shape{Rows: 128, Cols: 128}, "W", ir.Shape{Rows: 128, Cols: 128}),
+			ir.BB(ir.Assign("h", ir.ReLU(ir.MatMul(ir.Var("X"), ir.Var("W"))))), true},
+		{"gpu-too-small", shapes("X", ir.Shape{Rows: 16, Cols: 16}, "W", ir.Shape{Rows: 16, Cols: 16}),
+			ir.BB(ir.Assign("h", ir.MatMul(ir.Var("X"), ir.Var("W")))), true},
+	}
+	for _, tc := range cases {
+		l, d := legacy, derived
+		l.GPUEnabled, d.GPUEnabled = tc.gpu, tc.gpu
+		got := CompileBlock(tc.bb, tc.env, d)
+		want := CompileBlock(tc.bb, tc.env, l)
+		if len(got) != len(want) {
+			t.Fatalf("%s: stream lengths differ: %d vs %d", tc.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Backend != want[i].Backend {
+				t.Fatalf("%s: inst %d (%s) placed on %v under derived config, %v under legacy",
+					tc.name, i, got[i].Op, got[i].Backend, want[i].Backend)
+			}
+		}
+	}
+}
+
+// sweepPlacement compiles `g = tsmm(X)` for X with the given rows and
+// returns the tsmm's backend.
+func sweepPlacement(t *testing.T, conf Config, rows, cols int) core.Backend {
+	t.Helper()
+	bb := ir.BB(ir.Assign("g", ir.TSMM(ir.Var("X"))))
+	insts := CompileBlock(bb, shapes("X", ir.Shape{Rows: rows, Cols: cols}), conf)
+	in := findOp(insts, "tsmm")
+	if in == nil {
+		t.Fatalf("no tsmm in %v", ops(insts))
+	}
+	return in.Backend
+}
+
+// crossoverModel returns a model whose CP/Spark break-even for tsmm over
+// n x 4 inputs sits near n ~ 1000: CP throughput is tiny, Spark's is high,
+// and the job overhead is small enough to amortize quickly.
+func crossoverModel() *costs.Model {
+	m := *costs.Default()
+	m.CPUFlops = 1e6
+	m.SparkFlops = 1e9
+	m.SparkJobOverhead = 20e-3
+	m.SparkStageOverhead = 10e-3
+	m.CollectBW = 1e12
+	return &m
+}
+
+func TestAdaptiveSparkCrossoverSweep(t *testing.T) {
+	// Property test: sweeping the input size across the CP/Spark break-even
+	// with reuse probability 0, adaptive placement must (a) agree with the
+	// argmin of the expected-cost formula at every size, and (b) flip
+	// exactly once, CP -> Spark; static placement over the same sweep must
+	// never flip (all sizes are far below OpMemBudget).
+	m := crossoverModel()
+	conf := DefaultConfig()
+	conf.OpMemBudget = 1 << 40 // static: everything local; adaptive memory guard never trips
+	conf.Estimator = &stubEstimator{m: m, p: map[string]float64{}}
+
+	const cols = 4
+	flips := 0
+	prev := core.Backend(-1)
+	for rows := 64; rows <= 4096; rows += 64 {
+		got := sweepPlacement(t, conf, rows, cols)
+		// Independent expected-cost computation (p = 0 collapses E[b] to
+		// the raw cost).
+		flops := costs.MatMulFlops(cols, rows, cols)
+		cp := m.Interpret + costs.Compute(flops, m.CPUFlops)
+		sp := costs.Compute(flops, m.SparkFlops) + m.SparkJobOverhead + m.SparkStageOverhead +
+			costs.Transfer(int64(cols*cols*8), m.CollectBW, 0)
+		want := core.BackendCP
+		if sp < cp {
+			want = core.BackendSpark
+		}
+		if got != want {
+			t.Fatalf("rows=%d: adaptive placed %v, expected-cost argmin is %v (cp=%g sp=%g)",
+				rows, got, want, cp, sp)
+		}
+		if prev >= 0 && got != prev {
+			flips++
+			if !(prev == core.BackendCP && got == core.BackendSpark) {
+				t.Fatalf("rows=%d: flip direction %v -> %v, want CP -> Spark", rows, prev, got)
+			}
+		}
+		prev = got
+
+		static := conf
+		static.Estimator = nil
+		if b := sweepPlacement(t, static, rows, cols); b != core.BackendCP {
+			t.Fatalf("rows=%d: static placement flipped to %v inside the sweep", rows, b)
+		}
+	}
+	if flips != 1 {
+		t.Fatalf("adaptive flipped %d times across the sweep, want exactly 1", flips)
+	}
+}
+
+func TestAdaptiveGPUCrossoverSweep(t *testing.T) {
+	// Same property across the CP/GPU break-even: fixed per-launch
+	// overheads amortize as the matmul grows, so adaptive flips CP -> GPU
+	// exactly once, and at every size it matches the expected-cost argmin.
+	m := *costs.Default()
+	m.CPUFlops = 1e8
+	conf := DefaultConfig()
+	conf.OpMemBudget = 1 << 40
+	conf.GPUEnabled = true
+	conf.GPUMinCells = 1 << 62 // static path would never pick GPU in this sweep
+	conf.Estimator = &stubEstimator{m: &m, p: map[string]float64{}}
+
+	flips := 0
+	prev := core.Backend(-1)
+	for n := 8; n <= 256; n += 8 {
+		bb := ir.BB(ir.Assign("h", ir.MatMul(ir.Var("X"), ir.Var("W"))))
+		env := shapes("X", ir.Shape{Rows: n, Cols: n}, "W", ir.Shape{Rows: n, Cols: n})
+		insts := CompileBlock(bb, env, conf)
+		got := findOp(insts, "mm").Backend
+
+		flops := costs.MatMulFlops(n, n, n)
+		cp := m.Interpret + costs.Compute(flops, m.CPUFlops)
+		inBytes := int64(2 * n * n * 8)
+		gpu := costs.Compute(flops, m.GPUFlops) + m.CudaMalloc + m.KernelLaunch +
+			costs.Transfer(inBytes, m.H2DBW, m.CopyLatency)
+		want := core.BackendCP
+		if gpu < cp {
+			want = core.BackendGPU
+		}
+		if got != want {
+			t.Fatalf("n=%d: adaptive placed %v, expected-cost argmin is %v (cp=%g gpu=%g)",
+				n, got, want, cp, gpu)
+		}
+		if prev >= 0 && got != prev {
+			flips++
+			if !(prev == core.BackendCP && got == core.BackendGPU) {
+				t.Fatalf("n=%d: flip direction %v -> %v, want CP -> GPU", n, prev, got)
+			}
+		}
+		prev = got
+
+		static := conf
+		static.Estimator = nil
+		if b := findOp(CompileBlock(bb, env, static), "mm").Backend; b != core.BackendCP {
+			t.Fatalf("n=%d: static placement flipped to %v inside the sweep", n, b)
+		}
+	}
+	if flips != 1 {
+		t.Fatalf("adaptive flipped %d times across the sweep, want exactly 1", flips)
+	}
+}
+
+func TestAdaptiveReuseFlipsSparkToCP(t *testing.T) {
+	// The reuse-driven crossover: pick a size where Spark wins on raw cost
+	// (p = 0). As the observed reuse probability rises toward 1, the
+	// expected cost collapses to the hit-service cost — one probe on CP,
+	// two on Spark — so the same operator flips back to CP.
+	m := crossoverModel()
+	conf := DefaultConfig()
+	conf.OpMemBudget = 1 << 40
+	est := &stubEstimator{m: m, p: map[string]float64{"tsmm": 0}}
+	conf.Estimator = est
+
+	const rows, cols = 4096, 4
+	if b := sweepPlacement(t, conf, rows, cols); b != core.BackendSpark {
+		t.Fatalf("at p=0 placement = %v, want Spark (raw-cost winner)", b)
+	}
+	est.p["tsmm"] = 1
+	if b := sweepPlacement(t, conf, rows, cols); b != core.BackendCP {
+		t.Fatalf("at p=1 placement = %v, want CP (hit-service winner)", b)
+	}
+}
+
+func TestAdaptiveMemoryGuardForcesSpark(t *testing.T) {
+	// Adaptive mode rebalances cost, not memory safety: operators whose
+	// size estimate exceeds adaptiveMemSlack * OpMemBudget are Spark-forced
+	// regardless of reuse probability.
+	conf := DefaultConfig()
+	conf.OpMemBudget = 1 << 10
+	conf.Estimator = &stubEstimator{m: costs.Default(), p: map[string]float64{"tsmm": 1}}
+	if b := sweepPlacement(t, conf, 100000, 100); b != core.BackendSpark {
+		t.Fatalf("over-slack operator placed on %v, want forced Spark", b)
+	}
+}
+
+func TestFoldIncludesCalibrationEpoch(t *testing.T) {
+	base := DefaultConfig()
+	plain := base.Fold()
+	e1 := &stubEstimator{m: costs.Default(), epoch: 1}
+	e2 := &stubEstimator{m: costs.Default(), epoch: 2}
+	base.Estimator = e1
+	f1 := base.Fold()
+	base.Estimator = e2
+	f2 := base.Fold()
+	if plain == f1 {
+		t.Fatal("Fold must change when an estimator is injected")
+	}
+	if f1 == f2 {
+		t.Fatal("Fold must change across calibration epochs")
+	}
+	base.Estimator = e1
+	if base.Fold() != f1 {
+		t.Fatal("Fold must be deterministic for equal estimator state")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"memphis/internal/core"
+	"memphis/internal/costs"
 	"memphis/internal/ir"
 )
 
@@ -31,13 +32,27 @@ type Config struct {
 	// Results are bitwise-identical with fusion on or off; the flag joins
 	// the serving layer's compile-cache key via the config fold.
 	Fusion bool
+
+	// Estimator, when non-nil, switches operator placement from the
+	// static thresholds to closed-loop expected-cost queries
+	// (adaptivePlacement): each candidate backend is priced under the
+	// estimator's recalibrated rates with the observed reuse probability
+	// folded in. Nil keeps the static placement path byte-for-byte
+	// untouched. The estimator's epoch/fingerprint join compile-cache
+	// keys via Fold, so recalibration never serves stale cached plans.
+	Estimator costs.Estimator
 }
 
-// DefaultConfig returns placement thresholds for simulation scale.
+// DefaultConfig returns placement thresholds for simulation scale,
+// derived from the default cost model's break-even points (costs.
+// DeriveThresholds is anchored so the default model reproduces the
+// original hand-calibrated constants: 1 MB plays the role of the paper's
+// 7 GB, and 4096 cells the smallest profitable GPU chain start).
 func DefaultConfig() Config {
+	th := costs.DeriveThresholds(costs.Default())
 	return Config{
-		OpMemBudget: 1 << 20, // 1 MB plays the role of the paper's 7 GB
-		GPUMinCells: 4096,
+		OpMemBudget: th.OpMemBudget,
+		GPUMinCells: th.GPUMinCells,
 	}
 }
 
@@ -252,6 +267,11 @@ func (bc *blockCompiler) inferShallow(n *ir.Node) ir.Shape {
 // intensive dense operations (or GPU-local chains) go to the GPU.
 func (bc *blockCompiler) placement(n *ir.Node) core.Backend {
 	if b, ok := bc.place[n]; ok {
+		return b
+	}
+	if bc.conf.Estimator != nil {
+		b := bc.adaptivePlacement(n)
+		bc.place[n] = b
 		return b
 	}
 	out := bc.shapeOf(n)

@@ -1,0 +1,405 @@
+package costs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// This file implements the closed-loop half of the cost model: the static
+// Table-2 constants stay immutable in Model, and a Calibration overlays
+// them with effective rates recalibrated from replayable per-operator
+// counters (observed virtual cost, bytes moved, op counts) plus reuse
+// probabilities from lineage-cache hit statistics. Recalibration never
+// reads wall clocks — it is a pure function of the observation counters,
+// which are themselves pure functions of the execution trace, so adaptive
+// runs replay bitwise-identically.
+
+// Backend identifies the execution backend of an observation. The values
+// mirror core.Backend (CP=0, Spark=1, GPU=2) so runtime code can convert
+// with a plain cast without importing core here (costs must stay a leaf
+// package).
+type Backend int
+
+const (
+	BackendCP Backend = iota
+	BackendSpark
+	BackendGPU
+	numBackends
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendCP:
+		return "CP"
+	case BackendSpark:
+		return "SP"
+	case BackendGPU:
+		return "GPU"
+	default:
+		return "?"
+	}
+}
+
+// ShapeClass buckets an output cell count into a power-of-two size class
+// (floor(log2(cells))), the granularity at which observations and reuse
+// probabilities are keyed. Non-positive counts map to class 0.
+func ShapeClass(cells int64) int {
+	if cells <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(cells)) - 1
+}
+
+// OpKey identifies one observation population: operator type, backend it
+// executed on, and output shape class.
+type OpKey struct {
+	Op      string
+	Backend Backend
+	Class   int
+}
+
+func (k OpKey) less(o OpKey) bool {
+	if k.Op != o.Op {
+		return k.Op < o.Op
+	}
+	if k.Backend != o.Backend {
+		return k.Backend < o.Backend
+	}
+	return k.Class < o.Class
+}
+
+// opObs accumulates the replayable execution counters of one key. Costs
+// are virtual seconds (clock deltas), never wall time.
+type opObs struct {
+	ops   int64
+	flops float64
+	vcost float64
+	bytes int64
+}
+
+// tally is a probe/hit pair from the lineage cache's reuse statistics.
+type tally struct {
+	probes int64
+	hits   int64
+}
+
+// probKey keys reuse probabilities. Lineage keys are backend-agnostic — a
+// cached result serves the operator no matter where it would have executed
+// — so probabilities aggregate the per-backend tallies over (op, class).
+type probKey struct {
+	Op    string
+	Class int
+}
+
+// ReuseSource supplies observed probe/hit tallies at recalibration time;
+// lineage.ReuseStats implements it. Tallies must be invoked in a
+// deterministic order (probability aggregation is integer arithmetic, so
+// order only matters for replayability of the stored tally table).
+type ReuseSource interface {
+	Tallies(f func(op string, backend int, class int, probes, hits int64))
+}
+
+// Estimator is the query surface the compiler's adaptive placement uses.
+// *Calibration implements it; tests inject stubs.
+type Estimator interface {
+	// Effective returns the model with recalibrated rates folded in. The
+	// returned model is read-only and valid until the next Recalibrate.
+	Effective() *Model
+	// ReuseProb returns the quantized probability (eighths) that the
+	// operator's result is served by the lineage cache.
+	ReuseProb(op string, class int) float64
+	// Epoch counts how many times recalibration changed the quantized
+	// snapshot; Fingerprint hashes the snapshot itself. Both are folded
+	// into compile-cache keys so cached plans never go stale silently.
+	Epoch() uint64
+	Fingerprint() uint64
+}
+
+// Quantization and sample floors: effective rates snap to quarter-octave
+// buckets and probabilities to eighths, and neither moves below a minimum
+// sample count — so the epoch advances a handful of times while estimates
+// converge instead of churning every instruction (each epoch change
+// invalidates compiled-plan cache entries).
+const (
+	minOpSamples    = 16
+	minProbeSamples = 8
+)
+
+// Calibration is the mutable overlay over an immutable base Model. Not
+// safe for concurrent use; each session owns one.
+type Calibration struct {
+	base    *Model
+	eff     Model
+	obs     map[OpKey]*opObs
+	keys    []OpKey // insertion order; sorted views sort a copy
+	tallies map[OpKey]tally
+	probs   map[probKey]int64 // numerator of p in eighths (0..8)
+	epoch   uint64
+	fp      uint64
+}
+
+// NewCalibration starts a calibration at epoch 0, where the effective
+// model equals the base and every reuse probability is zero.
+func NewCalibration(base *Model) *Calibration {
+	c := &Calibration{
+		base:    base,
+		eff:     *base,
+		obs:     make(map[OpKey]*opObs),
+		tallies: make(map[OpKey]tally),
+		probs:   make(map[probKey]int64),
+	}
+	c.fp = c.fingerprint()
+	return c
+}
+
+// ObserveOp records one executed operator: its flop estimate, the virtual
+// cost the driver observed (clock delta across the instruction), and the
+// bytes the execution moved.
+func (c *Calibration) ObserveOp(op string, b Backend, class int, flops, vcost float64, bytes int64) {
+	k := OpKey{Op: op, Backend: b, Class: class}
+	o := c.obs[k]
+	if o == nil {
+		o = &opObs{}
+		c.obs[k] = o
+		c.keys = append(c.keys, k)
+	}
+	o.ops++
+	o.flops += flops
+	o.vcost += vcost
+	o.bytes += bytes
+}
+
+// Recalibrate folds the accumulated counters (and the reuse source's
+// tallies) into a fresh quantized snapshot. It returns true when the
+// snapshot — and therefore the epoch — changed. Pure function of the
+// counters: no wall clock, no randomness.
+func (c *Calibration) Recalibrate(src ReuseSource) bool {
+	sorted := make([]OpKey, len(c.keys))
+	copy(sorted, c.keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
+
+	// Effective backend rates: observed flops per observed virtual second,
+	// aggregated per backend in sorted key order (float accumulation order
+	// must be deterministic), quantized to quarter-octave buckets.
+	var ops [numBackends]int64
+	var flops, vcost [numBackends]float64
+	for _, k := range sorted {
+		o := c.obs[k]
+		if o.flops <= 0 || o.vcost <= 0 {
+			continue
+		}
+		ops[k.Backend] += o.ops
+		flops[k.Backend] += o.flops
+		vcost[k.Backend] += o.vcost
+	}
+	c.eff = *c.base
+	rate := func(base float64, b Backend) float64 {
+		if ops[b] < minOpSamples || vcost[b] <= 0 {
+			return base
+		}
+		return quantizeRate(flops[b] / vcost[b])
+	}
+	c.eff.CPUFlops = rate(c.base.CPUFlops, BackendCP)
+	c.eff.SparkFlops = rate(c.base.SparkFlops, BackendSpark)
+	c.eff.GPUFlops = rate(c.base.GPUFlops, BackendGPU)
+
+	// Reuse probabilities: integer tallies aggregated over backends per
+	// (op, class), rounded to eighths. p reaches 1 only when essentially
+	// every probe hit (17n/18 of them after rounding).
+	c.tallies = make(map[OpKey]tally)
+	agg := make(map[probKey]tally)
+	if src != nil {
+		src.Tallies(func(op string, backend, class int, probes, hits int64) {
+			c.tallies[OpKey{Op: op, Backend: Backend(backend), Class: class}] = tally{probes: probes, hits: hits}
+			if class < 0 {
+				return // size unknown at the recording site
+			}
+			pk := probKey{Op: op, Class: class}
+			t := agg[pk]
+			t.probes += probes
+			t.hits += hits
+			agg[pk] = t
+		})
+	}
+	c.probs = make(map[probKey]int64)
+	for pk, t := range agg {
+		if t.probes < minProbeSamples {
+			continue
+		}
+		// Round hits/probes to eighths: (16h + p) / 2p in integers.
+		if p8 := (t.hits*16 + t.probes) / (2 * t.probes); p8 > 0 {
+			c.probs[pk] = p8
+		}
+	}
+
+	fp := c.fingerprint()
+	if fp == c.fp {
+		return false
+	}
+	c.fp = fp
+	c.epoch++
+	return true
+}
+
+// quantizeRate snaps a rate to the nearest quarter-octave bucket
+// (2^(n/4)), bounding snapshot churn to ~19% rate movements.
+func quantizeRate(x float64) float64 {
+	if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+		return x
+	}
+	return math.Pow(2, math.Round(4*math.Log2(x))/4)
+}
+
+// fingerprint hashes the quantized snapshot: effective rates plus the
+// sorted probability table.
+func (c *Calibration) fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(math.Float64bits(c.eff.CPUFlops))
+	put(math.Float64bits(c.eff.SparkFlops))
+	put(math.Float64bits(c.eff.GPUFlops))
+	pks := make([]probKey, 0, len(c.probs))
+	for pk := range c.probs {
+		pks = append(pks, pk)
+	}
+	sort.Slice(pks, func(i, j int) bool {
+		if pks[i].Op != pks[j].Op {
+			return pks[i].Op < pks[j].Op
+		}
+		return pks[i].Class < pks[j].Class
+	})
+	for _, pk := range pks {
+		h.Write([]byte(pk.Op))
+		h.Write([]byte{0})
+		put(uint64(pk.Class))
+		put(uint64(c.probs[pk]))
+	}
+	return h.Sum64()
+}
+
+// Effective implements Estimator.
+func (c *Calibration) Effective() *Model { return &c.eff }
+
+// ReuseProb implements Estimator.
+func (c *Calibration) ReuseProb(op string, class int) float64 {
+	return float64(c.probs[probKey{Op: op, Class: class}]) / 8
+}
+
+// Epoch implements Estimator.
+func (c *Calibration) Epoch() uint64 { return c.epoch }
+
+// Fingerprint implements Estimator.
+func (c *Calibration) Fingerprint() uint64 { return c.fp }
+
+// BackendReport is one backend's aggregate calibration row.
+type BackendReport struct {
+	Backend         string  `json:"backend"`
+	Ops             int64   `json:"ops"`
+	Flops           float64 `json:"flops"`
+	Bytes           int64   `json:"bytes"`
+	ObservedSeconds float64 `json:"observed_seconds"`
+	BaseRate        float64 `json:"base_rate"`
+	EffectiveRate   float64 `json:"effective_rate"`
+}
+
+// OpReport is one (op, backend, class) population's predicted-vs-observed
+// row, including its reuse statistics.
+type OpReport struct {
+	Op               string  `json:"op"`
+	Backend          string  `json:"backend"`
+	Class            int     `json:"class"`
+	Ops              int64   `json:"ops"`
+	Flops            float64 `json:"flops"`
+	Bytes            int64   `json:"bytes"`
+	PredictedSeconds float64 `json:"predicted_seconds"`
+	ObservedSeconds  float64 `json:"observed_seconds"`
+	Probes           int64   `json:"probes"`
+	Hits             int64   `json:"hits"`
+	HitRate          float64 `json:"hit_rate"`
+	ReuseProb        float64 `json:"reuse_prob"`
+}
+
+// CalibrationReport is the session-visible calibration snapshot
+// (Stats.Calibration on the facade, `lineage-tool costs` on the CLI).
+// Rows are deterministically sorted; serializing two replays of the same
+// trace yields byte-identical JSON.
+type CalibrationReport struct {
+	Epoch       uint64          `json:"epoch"`
+	Fingerprint string          `json:"fingerprint"`
+	Backends    []BackendReport `json:"backends"`
+	Ops         []OpReport      `json:"ops"`
+}
+
+// Report builds the snapshot. Predicted seconds charge the base model's
+// rate plus its per-op fixed overhead, so drift between the analytic
+// prediction and the observed virtual cost is visible per population.
+func (c *Calibration) Report() *CalibrationReport {
+	rep := &CalibrationReport{
+		Epoch:       c.epoch,
+		Fingerprint: fmt.Sprintf("%016x", c.fp),
+	}
+	baseRate := [numBackends]float64{c.base.CPUFlops, c.base.SparkFlops, c.base.GPUFlops}
+	effRate := [numBackends]float64{c.eff.CPUFlops, c.eff.SparkFlops, c.eff.GPUFlops}
+	overhead := [numBackends]float64{
+		c.base.Interpret,
+		c.base.SparkJobOverhead + c.base.SparkStageOverhead,
+		c.base.CudaMalloc + c.base.KernelLaunch,
+	}
+
+	// Merge observation and tally keys so probe-only populations (all
+	// hits, never executed) still report.
+	keySet := make(map[OpKey]struct{}, len(c.obs)+len(c.tallies))
+	for k := range c.obs {
+		keySet[k] = struct{}{}
+	}
+	for k := range c.tallies {
+		keySet[k] = struct{}{}
+	}
+	keys := make([]OpKey, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+
+	var agg [numBackends]BackendReport
+	for _, k := range keys {
+		row := OpReport{Op: k.Op, Backend: k.Backend.String(), Class: k.Class}
+		if o := c.obs[k]; o != nil {
+			row.Ops, row.Flops, row.Bytes, row.ObservedSeconds = o.ops, o.flops, o.bytes, o.vcost
+			row.PredictedSeconds = Compute(o.flops, baseRate[k.Backend]) + float64(o.ops)*overhead[k.Backend]
+		}
+		if t, ok := c.tallies[k]; ok {
+			row.Probes, row.Hits = t.probes, t.hits
+			if t.probes > 0 {
+				row.HitRate = float64(t.hits) / float64(t.probes)
+			}
+		}
+		if k.Class >= 0 {
+			row.ReuseProb = c.ReuseProb(k.Op, k.Class)
+		}
+		rep.Ops = append(rep.Ops, row)
+		if k.Backend >= 0 && k.Backend < numBackends {
+			a := &agg[k.Backend]
+			a.Ops += row.Ops
+			a.Flops += row.Flops
+			a.Bytes += row.Bytes
+			a.ObservedSeconds += row.ObservedSeconds
+		}
+	}
+	for b := Backend(0); b < numBackends; b++ {
+		agg[b].Backend = b.String()
+		agg[b].BaseRate = baseRate[b]
+		agg[b].EffectiveRate = effRate[b]
+		rep.Backends = append(rep.Backends, agg[b])
+	}
+	return rep
+}

@@ -1,0 +1,87 @@
+package runtime
+
+import (
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/costs"
+	"memphis/internal/lineage"
+)
+
+// ReuseRow re-exports the lineage recorder's snapshot row for the facade
+// and CLIs.
+type ReuseRow = lineage.ReuseRow
+
+// Closed-loop cost model glue: Execute's observation hooks feed the
+// session's costs.Calibration (observed virtual costs per operator) and
+// lineage.ReuseStats (probe/hit tallies per op/backend/shape-class), and
+// runBasicBlock recalibrates at every block boundary. All observations
+// are virtual-clock deltas — pure functions of the execution trace — so
+// adaptive runs replay bitwise-identically.
+
+// obsClass buckets an instruction's output size for observation keys.
+func obsClass(inst *compiler.Instruction) int {
+	return costs.ShapeClass(int64(inst.Shape.Rows) * int64(inst.Shape.Cols))
+}
+
+// noteReuse records one fine-grained cache probe (local or shared) against
+// the backend the operator was placed on. No-op without Config.Adaptive.
+func (ctx *Context) noteReuse(inst *compiler.Instruction, hit bool) {
+	if ctx.reuse == nil {
+		return
+	}
+	ctx.reuse.Note(inst.Op, int(inst.Backend), obsClass(inst), hit)
+}
+
+// observeOp records one executed (cache-missed) operator: its flop
+// estimate, the virtual cost the driver observed across the whole
+// instruction (interpret, trace, failed probes, execution, cache put),
+// and an estimate of the bytes the execution moved. Charging the full
+// driver-visible delta — not just the kernel — is deliberate: that is the
+// cost placement decisions actually pay. Fused instructions observe under
+// ir.FusedOp as their own operator class.
+func (ctx *Context) observeOp(inst *compiler.Instruction, vcost float64) {
+	if ctx.cal == nil {
+		return
+	}
+	moved := inst.Shape.Bytes()
+	if inst.Backend != core.BackendCP {
+		// Remote execution ships inputs across a link (collect/H2D).
+		for _, s := range inst.InShapes {
+			moved += s.Bytes()
+		}
+	}
+	ctx.cal.ObserveOp(inst.Op, costs.Backend(inst.Backend), obsClass(inst), inst.Flops, vcost, moved)
+}
+
+// recalibrate folds the accumulated observations into a fresh calibration
+// snapshot (end of every basic block). Epoch advances count as
+// Stats.Recalibrations; the new epoch reaches the compiler on the next
+// block compile via the injected estimator and joins compile-cache keys
+// through Config.Fold.
+func (ctx *Context) recalibrate() {
+	if ctx.cal == nil {
+		return
+	}
+	if ctx.cal.Recalibrate(ctx.reuse) {
+		ctx.Stats.Recalibrations++
+	}
+}
+
+// CalibrationReport returns the closed-loop calibration snapshot, or nil
+// without Config.Adaptive. Rows are deterministically sorted, so two
+// replays of the same trace serialize byte-identically.
+func (ctx *Context) CalibrationReport() *costs.CalibrationReport {
+	if ctx.cal == nil {
+		return nil
+	}
+	return ctx.cal.Report()
+}
+
+// ReuseSnapshot returns the raw probe/hit tallies (nil without
+// Config.Adaptive).
+func (ctx *Context) ReuseSnapshot() []ReuseRow {
+	if ctx.reuse == nil {
+		return nil
+	}
+	return ctx.reuse.Snapshot()
+}

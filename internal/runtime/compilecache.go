@@ -96,7 +96,10 @@ func (ctx *Context) blockKey(bb *ir.BasicBlock) uint64 {
 			fmt.Fprintf(h, "%s=?;", name)
 		}
 	}
-	fmt.Fprintf(h, "|cc:%+v", ctx.Conf.Compiler)
+	// Config.Fold is the deterministic key text (an interface field in the
+	// config would print pointer addresses under %+v); it includes the
+	// calibration epoch/fingerprint when adaptive placement is active.
+	fmt.Fprintf(h, "|cc:%s", ctx.Conf.Compiler.Fold())
 	if ctx.Conf.MemPlan != nil {
 		fmt.Fprintf(h, "|mp:%+v", *ctx.Conf.MemPlan)
 	}

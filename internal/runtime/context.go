@@ -118,6 +118,18 @@ type Config struct {
 	// data.DefaultArenaBudget).
 	ArenaBudget int64
 
+	// Adaptive enables the closed-loop cost model (Options.
+	// AdaptivePlacement on the facade): the context records per-operator
+	// observed virtual costs and lineage-cache hit tallies, recalibrates a
+	// costs.Calibration after every basic block, and injects it into the
+	// compiler as the placement estimator — so CP/GPU/Spark placement
+	// follows observed costs and reuse probabilities instead of the static
+	// thresholds. Recalibration is a pure function of the execution trace
+	// (virtual-clock deltas, never wall time), so adaptive runs replay
+	// bitwise-identically. Off (default), every placement and charge is
+	// byte-identical to the static pipeline.
+	Adaptive bool
+
 	// MemPlan, when non-nil, enables the compile-time memory planner
 	// (internal/memplan): every compiled stream is analyzed for liveness,
 	// lifetime hints are stamped onto cache entries, and budget-bounding
@@ -153,6 +165,10 @@ type Stats struct {
 	// Memory-planner events (zero without Config.MemPlan).
 	PlanBlocks int64 // planned stream executions
 	EarlyFrees int64 // planner-inserted frees that released a binding
+
+	// Recalibrations counts calibration epoch advances (zero without
+	// Config.Adaptive).
+	Recalibrations int64
 }
 
 // Context is the execution context: symbol table, backends, lineage map,
@@ -214,6 +230,13 @@ type Context struct {
 	arena      *data.Arena
 	fusedProgs map[string]*data.FusedProgram
 
+	// Closed-loop cost model state (nil without Config.Adaptive): cal is
+	// the calibration overlay injected into the compiler as the placement
+	// estimator, reuse the per-(op, backend, shape-class) probe/hit
+	// recorder feeding its reuse probabilities.
+	cal   *costs.Calibration
+	reuse *lineage.ReuseStats
+
 	closed bool
 
 	Stats Stats
@@ -269,6 +292,13 @@ func New(conf Config) *Context {
 		if ctx.planWindow <= 0 {
 			ctx.planWindow = memplan.DefaultWindow
 		}
+	}
+	if conf.Adaptive {
+		ctx.cal = costs.NewCalibration(model)
+		ctx.reuse = lineage.NewReuseStats()
+		// The calibration is the compiler's placement estimator; blocks
+		// recompile per execution, so placement tracks the latest epoch.
+		ctx.Conf.Compiler.Estimator = ctx.cal
 	}
 	if conf.Faults != nil {
 		ctx.Inj = faults.NewInjector(conf.Faults)

@@ -202,6 +202,7 @@ func (ctx *Context) Execute(inst *compiler.Instruction) error {
 		return ctx.execCheckpoint(inst)
 	}
 	ctx.Stats.Instructions++
+	obsStart := ctx.Clock.Now()
 	ctx.Clock.Advance(ctx.Model.Interpret)
 	var li *lineage.Item
 	if ctx.tracing() {
@@ -220,6 +221,7 @@ func (ctx *Context) Execute(inst *compiler.Instruction) error {
 				// DAGs share sub-DAGs by identity (Figure 5).
 				ctx.LMap.TraceItem(inst.Output(), e.Key)
 				ctx.Stats.Reused++
+				ctx.noteReuse(inst, true)
 				return nil
 			}
 		}
@@ -233,9 +235,11 @@ func (ctx *Context) Execute(inst *compiler.Instruction) error {
 				v.Lin = li
 				ctx.setVar(inst.Output(), v)
 				ctx.Stats.Reused++
+				ctx.noteReuse(inst, true)
 				return nil
 			}
 		}
+		ctx.noteReuse(inst, false)
 	}
 	v, err := ctx.execOp(inst)
 	if err != nil {
@@ -246,6 +250,7 @@ func (ctx *Context) Execute(inst *compiler.Instruction) error {
 	if wantReuse {
 		ctx.putValue(inst, li, v)
 	}
+	ctx.observeOp(inst, ctx.Clock.Now()-obsStart)
 	return nil
 }
 

@@ -159,6 +159,7 @@ func (ctx *Context) runBasicBlock(bb *ir.BasicBlock) error {
 		}
 	}
 	ctx.clearTemps()
+	ctx.recalibrate()
 	ctx.delayFactor, ctx.storageLevel = prevDelay, prevLevel
 	if rec != nil {
 		rec.runs++

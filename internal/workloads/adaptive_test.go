@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"memphis/internal/compiler"
+	"memphis/internal/core"
+	"memphis/internal/costs"
+	"memphis/internal/data"
+	"memphis/internal/faults"
+	"memphis/internal/ir"
+	"memphis/internal/runtime"
+	"memphis/internal/spark"
+)
+
+// adaptiveCrossoverModel makes Spark the raw-cost winner for the crossover
+// microbenchmark's tsmm (a slow driver, a fast cluster, small job
+// overheads), so only observed reuse can pull the operator back to CP.
+func adaptiveCrossoverModel() *costs.Model {
+	m := *costs.Default()
+	m.CPUFlops = 1e6
+	m.SparkFlops = 1e9
+	m.SparkJobOverhead = 20e-3
+	m.SparkStageOverhead = 10e-3
+	m.CollectBW = 1e12
+	return &m
+}
+
+// crossoverProg is the crossover microbenchmark: a loop recomputing the
+// same tsmm, so from iteration two on every probe hits and the operator's
+// observed reuse probability climbs toward one.
+func crossoverProg(iters int) *ir.Program {
+	body := ir.BB(
+		ir.Assign("g", ir.TSMM(ir.Var("X"))),
+		ir.Assign("s", ir.Sum(ir.Var("g"))),
+	)
+	prog := ir.NewProgram()
+	prog.Main = []ir.Block{ir.ForRange("i", iters, body)}
+	return prog
+}
+
+// runAdaptiveCrossover executes the crossover microbenchmark and returns
+// the context for inspection (caller closes).
+func runAdaptiveCrossover(t *testing.T, adaptive bool, plan *faults.Plan) *runtime.Context {
+	t.Helper()
+	ctx := runtime.New(runtime.Config{
+		Mode:     runtime.ReuseMemphis,
+		Compiler: compiler.DefaultConfig(),
+		Cache:    core.DefaultConfig(),
+		Spark:    spark.DefaultConfig(),
+		Model:    adaptiveCrossoverModel(),
+		Adaptive: adaptive,
+		Faults:   plan,
+	})
+	ctx.BindHost("X", data.RandNorm(4096, 4, 0, 1, 7))
+	if err := ctx.RunProgram(crossoverProg(24)); err != nil {
+		t.Fatalf("crossover run: %v", err)
+	}
+	return ctx
+}
+
+// adaptiveTrace condenses one adaptive run to a deterministic byte string:
+// formatted virtual time plus the JSON calibration report and reuse table.
+func adaptiveTrace(t *testing.T, ctx *runtime.Context) string {
+	t.Helper()
+	rep, err := json.Marshal(ctx.CalibrationReport())
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	rows, err := json.Marshal(ctx.ReuseSnapshot())
+	if err != nil {
+		t.Fatalf("marshal reuse: %v", err)
+	}
+	return fmt.Sprintf("%.9f|%s|%s", ctx.Clock.Now(), rep, rows)
+}
+
+// probesOn sums the recorded probes for an op on one backend.
+func probesOn(rows []runtime.ReuseRow, op string, backend int) int64 {
+	var n int64
+	for _, r := range rows {
+		if r.Op == op && r.Backend == backend {
+			n += r.Probes
+		}
+	}
+	return n
+}
+
+// TestAdaptiveReuseDrivenFlip is the closed loop end to end: under the
+// crossover model the tsmm starts Spark-placed (raw-cost winner), the
+// repeated hits drive its observed reuse probability to one, and the
+// expected-cost placement flips it back to CP — one probe beats a hit on a
+// remote handle. The flip is visible in the reuse tallies: probes appear
+// under both backends in the adaptive run, while the static run keeps the
+// operator wherever the thresholds put it for the whole loop.
+func TestAdaptiveReuseDrivenFlip(t *testing.T) {
+	ctx := runAdaptiveCrossover(t, true, nil)
+	defer ctx.Close()
+
+	rows := ctx.ReuseSnapshot()
+	sp := probesOn(rows, "tsmm", int(core.BackendSpark))
+	cp := probesOn(rows, "tsmm", int(core.BackendCP))
+	if sp == 0 || cp == 0 {
+		t.Fatalf("no reuse-driven flip: tsmm probes Spark=%d CP=%d (rows %+v)", sp, cp, rows)
+	}
+	if ctx.Stats.Recalibrations == 0 {
+		t.Fatal("no recalibrations recorded")
+	}
+	rep := ctx.CalibrationReport()
+	if rep == nil || rep.Epoch == 0 {
+		t.Fatalf("calibration report = %+v, want non-nil with epoch > 0", rep)
+	}
+
+	// The static run must never touch Spark for this operator: its input
+	// (128 KB) is far below the placement threshold.
+	static := runAdaptiveCrossover(t, false, nil)
+	defer static.Close()
+	if static.ReuseSnapshot() != nil || static.CalibrationReport() != nil {
+		t.Fatal("adaptive-off run must not collect calibration state")
+	}
+	if static.Cache.Stats.HitsRDD != 0 {
+		t.Fatalf("static run hit %d RDD entries; placement flipped without adaptive mode",
+			static.Cache.Stats.HitsRDD)
+	}
+}
+
+// TestAdaptiveDeterministicReplay runs the calibrating workload twice (and
+// twice more under the chaos fault plan) and requires byte-identical
+// virtual times, calibration reports, and reuse tables: recalibration is a
+// pure function of the execution trace.
+func TestAdaptiveDeterministicReplay(t *testing.T) {
+	c1 := runAdaptiveCrossover(t, true, nil)
+	tr1 := adaptiveTrace(t, c1)
+	c1.Close()
+	c2 := runAdaptiveCrossover(t, true, nil)
+	tr2 := adaptiveTrace(t, c2)
+	c2.Close()
+	if tr1 != tr2 {
+		t.Errorf("adaptive replay diverged:\n%s\nvs\n%s", tr1, tr2)
+	}
+
+	f1 := runAdaptiveCrossover(t, true, faults.Default(99))
+	tf1 := adaptiveTrace(t, f1)
+	f1.Close()
+	f2 := runAdaptiveCrossover(t, true, faults.Default(99))
+	tf2 := adaptiveTrace(t, f2)
+	f2.Close()
+	if tf1 != tf2 {
+		t.Errorf("adaptive chaos replay diverged:\n%s\nvs\n%s", tf1, tf2)
+	}
+}
+
+// TestAdaptiveInvariantAcrossParallelism reruns the calibrating workload at
+// kernel parallelism 1, 4, and 8: placement decisions, virtual time, and
+// the full calibration report must be bitwise identical — the closed loop
+// observes only virtual-clock deltas, never wall time.
+func TestAdaptiveInvariantAcrossParallelism(t *testing.T) {
+	prev := data.Parallelism()
+	defer data.SetParallelism(prev)
+
+	data.SetParallelism(1)
+	base := runAdaptiveCrossover(t, true, nil)
+	want := adaptiveTrace(t, base)
+	base.Close()
+	for _, par := range []int{4, 8} {
+		data.SetParallelism(par)
+		ctx := runAdaptiveCrossover(t, true, nil)
+		got := adaptiveTrace(t, ctx)
+		ctx.Close()
+		if got != want {
+			t.Errorf("parallelism %d diverged:\n%s\nvs\n%s", par, got, want)
+		}
+	}
+}

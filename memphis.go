@@ -24,6 +24,7 @@ import (
 
 	"memphis/internal/compiler"
 	"memphis/internal/core"
+	"memphis/internal/costs"
 	"memphis/internal/data"
 	"memphis/internal/faults"
 	"memphis/internal/gpu"
@@ -123,6 +124,24 @@ type Options struct {
 	// caps retained free bytes. Results are bitwise-identical on/off.
 	Arena bool
 
+	// AdaptivePlacement enables the closed-loop cost model: the session
+	// records per-operator observed virtual costs and cache hit/miss
+	// tallies, recalibrates the cost model's effective rates at basic-block
+	// boundaries, and lets the compiler place operators by expected cost —
+	// folding each operator's observed reuse probability — instead of the
+	// static thresholds. All observations are virtual-clock deltas, so
+	// adaptive runs stay deterministic and replayable; with the option off
+	// (the default) placement, results, and virtual times are
+	// bitwise-identical to previous releases. See Stats.Calibration.
+	AdaptivePlacement bool
+
+	// CostModel overrides the analytic cost model's calibrated constants
+	// (nil uses the paper's Table-2 defaults, costs.Default). Validate
+	// rejects models with non-positive or non-finite fields. With
+	// AdaptivePlacement this is the immutable base the calibration overlay
+	// refines.
+	CostModel *CostModel
+
 	// MemoryPlanner enables the compile-time memory planner
 	// (internal/memplan): static liveness and peak-memory profiles per
 	// compiled stream, lifetime hints for the arbiter's victim selection,
@@ -144,6 +163,19 @@ type MemoryBudgets struct {
 	GPU        int64 // device capacity, when EnableGPU is set (default 48 MB)
 	Arena      int64 // buffer-arena retained free bytes, when Arena is set (default 8 MB)
 }
+
+// CostModel is the analytic cost model's constant set (see internal/costs):
+// compute rates, transfer bandwidths, and per-operation overheads, all in
+// virtual seconds. costs.Default() reproduces the paper's Table 2.
+type CostModel = costs.Model
+
+// DefaultCostModel returns the paper's calibrated constants (Table 2).
+func DefaultCostModel() *CostModel { return costs.Default() }
+
+// CalibrationReport is the closed-loop cost model's snapshot: calibration
+// epoch and fingerprint, per-backend observed-vs-base effective rates, and
+// per-operator predicted-vs-observed virtual costs with reuse statistics.
+type CalibrationReport = costs.CalibrationReport
 
 // FaultPlan is a replayable fault scenario (see internal/faults): a seed plus
 // per-site triggers. DefaultFaultPlan gives the chaos-mode defaults.
@@ -168,6 +200,11 @@ func (o Options) Validate() error {
 	if o.OpMemBudget > 0 && o.MemoryBudgets.Spark > 0 && o.OpMemBudget > o.MemoryBudgets.Spark {
 		return fmt.Errorf("memphis: OpMemBudget (%d) exceeds MemoryBudgets.Spark (%d); operators compiled locally under OpMemBudget could never fit the cluster storage region",
 			o.OpMemBudget, o.MemoryBudgets.Spark)
+	}
+	if o.CostModel != nil {
+		if err := o.CostModel.Validate(); err != nil {
+			return fmt.Errorf("memphis: CostModel: %w", err)
+		}
 	}
 	return nil
 }
@@ -258,6 +295,8 @@ func runtimeConfig(opts Options) runtime.Config {
 		MemPlan:     plan,
 		Arena:       opts.Arena,
 		ArenaBudget: opts.MemoryBudgets.Arena,
+		Model:       opts.CostModel,
+		Adaptive:    opts.AdaptivePlacement,
 	}
 }
 
@@ -348,13 +387,33 @@ type PoolStats = memctl.PoolStats
 type Stats struct {
 	runtime.Stats
 	Memory []PoolStats `json:"memory,omitempty"`
+	// Calibration is the closed-loop cost model's report (nil unless
+	// Options.AdaptivePlacement is set).
+	Calibration *CalibrationReport `json:"calibration,omitempty"`
 }
 
 // Stats returns the runtime statistics (instruction counts, reuses) with
-// the memory arbiter's per-pool rows attached.
+// the memory arbiter's per-pool rows attached, and — under
+// Options.AdaptivePlacement — the cost-model calibration report.
 func (s *Session) Stats() Stats {
-	return Stats{Stats: s.ctx.Stats, Memory: s.MemoryStats()}
+	return Stats{Stats: s.ctx.Stats, Memory: s.MemoryStats(), Calibration: s.CalibrationReport()}
 }
+
+// CalibrationReport returns the closed-loop cost model's current snapshot:
+// calibration epoch, per-backend effective rates, and per-operator
+// predicted-vs-observed virtual costs with reuse probabilities. Nil unless
+// Options.AdaptivePlacement is set. Deterministic: two replays of the same
+// program serialize byte-identically.
+func (s *Session) CalibrationReport() *CalibrationReport { return s.ctx.CalibrationReport() }
+
+// ReuseRow is one (operator, backend, shape-class) probe/hit tally with its
+// observed hit rate.
+type ReuseRow = runtime.ReuseRow
+
+// ReuseSnapshot returns the session's fine-grained probe/hit tallies per
+// (operator, backend, shape-class). Nil unless Options.AdaptivePlacement is
+// set.
+func (s *Session) ReuseSnapshot() []ReuseRow { return s.ctx.ReuseSnapshot() }
 
 // MemoryStats returns the per-pool pressure/demotion counters of the
 // session's memory arbiter, in fixed registration order: the driver cache
@@ -495,6 +554,12 @@ func NewServer(opts ServerOptions) *Server {
 	}
 	conf := serve.DefaultConfig()
 	conf.Runtime = runtimeConfig(opts.Options)
+	// Adaptive placement is a session-lifetime feature: calibration needs a
+	// persistent observation stream, but the server builds a fresh session
+	// per request, so each would recalibrate from scratch — epoch churn in
+	// compile-cache keys with nothing learned. The serving layer's shared
+	// cache still records reuse tallies (SharedStats.Reuse).
+	conf.Runtime.Adaptive = false
 	if opts.Workers > 0 {
 		conf.Workers = opts.Workers
 	}
